@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks for the core data structures: the
+//! DirtyQueue protocol operations, the tag/data array, the power-trace
+//! cursor, capacitor arithmetic, and the CACTI-lite estimator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ehsim_cache::{CacheGeometry, ReplacementPolicy, TagArray};
+use ehsim_energy::{Capacitor, ChargingModel, TraceKind};
+use ehsim_hwcost::{dirty_queue_spec, estimate};
+use std::hint::black_box;
+use wl_cache::{DirtyQueue, DqPolicy};
+
+fn bench_dirty_queue(c: &mut Criterion) {
+    c.bench_function("dirty_queue/push_clean_ack_cycle", |b| {
+        b.iter_batched(
+            || DirtyQueue::new(8),
+            |mut q| {
+                for i in 0..6u32 {
+                    q.push(i * 64);
+                }
+                let (sel, _) = q.select_for_cleaning(DqPolicy::Fifo, |_| Some(0));
+                q.mark_cleaning(sel.unwrap(), 1_000);
+                black_box(q.pop_acked(2_000));
+                black_box(q.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("dirty_queue/lru_select_8", |b| {
+        b.iter_batched(
+            || {
+                let mut q = DirtyQueue::new(8);
+                for i in 0..8u32 {
+                    q.push(i * 64);
+                }
+                q
+            },
+            |mut q| {
+                let (sel, _) =
+                    q.select_for_cleaning(DqPolicy::Lru, |base| Some(u64::from(base ^ 0x5a)));
+                black_box(sel)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tag_array(c: &mut Criterion) {
+    let geom = CacheGeometry::paper_default();
+    let mut array = TagArray::new(geom, ReplacementPolicy::Lru);
+    let line = vec![0u8; 64];
+    for i in 0..128u32 {
+        let addr = i * 64;
+        let v = array.victim(addr);
+        array.fill(v, addr, &line);
+    }
+    c.bench_function("tag_array/lookup_hit", |b| {
+        b.iter(|| black_box(array.lookup(black_box(0x1040))))
+    });
+    c.bench_function("tag_array/victim_select", |b| {
+        b.iter(|| black_box(array.victim(black_box(0x9040))))
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let trace = TraceKind::Rf1.build();
+    c.bench_function("trace/advance_1us", |b| {
+        let mut cursor = trace.cursor();
+        b.iter(|| black_box(cursor.advance(1_000_000)))
+    });
+}
+
+fn bench_capacitor(c: &mut Criterion) {
+    c.bench_function("capacitor/drain_charge", |b| {
+        let mut cap = Capacitor::paper_default();
+        cap.set_voltage(3.3);
+        b.iter(|| {
+            cap.drain_pj(black_box(10.0));
+            cap.charge_pj(black_box(10.0));
+            black_box(cap.voltage())
+        })
+    });
+    c.bench_function("charging/efficiency", |b| {
+        let m = ChargingModel::paper_default();
+        b.iter(|| black_box(m.efficiency(black_box(3.37))))
+    });
+}
+
+fn bench_hwcost(c: &mut Criterion) {
+    c.bench_function("hwcost/dirty_queue_estimate", |b| {
+        b.iter(|| black_box(estimate(&dirty_queue_spec(8, 32))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_dirty_queue, bench_tag_array, bench_trace, bench_capacitor, bench_hwcost
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the simulator itself: per-design hot paths
+//! (store/load streams) and a small end-to-end workload, measuring the
+//! harness's own throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ehsim::{SimConfig, Simulator};
+use ehsim_energy::TraceKind;
+use ehsim_mem::{Bus, Workload};
+use ehsim_workloads::prelude::*;
+use std::hint::black_box;
+
+struct StoreStream;
+impl Workload for StoreStream {
+    fn name(&self) -> &str {
+        "store-stream"
+    }
+    fn mem_bytes(&self) -> u32 {
+        16 * 1024
+    }
+    fn run(&self, bus: &mut dyn Bus) -> u64 {
+        for i in 0..4_096u32 {
+            bus.store_u32((i * 4) % 16_384, i);
+        }
+        1
+    }
+}
+
+fn bench_design_hot_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine/store_stream_4k");
+    for cfg in SimConfig::all_designs() {
+        g.bench_function(cfg.design.label(), |b| {
+            b.iter(|| {
+                let r = Simulator::new(cfg.clone()).run(&StoreStream).unwrap();
+                black_box(r.total_time_ps)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("sim/sha_small_wl_rf1", |b| {
+        let cfg = SimConfig::wl_cache().with_trace(TraceKind::Rf1);
+        let w = Sha::small();
+        b.iter(|| {
+            let r = Simulator::new(cfg.clone()).run(&w).unwrap();
+            black_box(r.checksum)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_design_hot_paths, bench_end_to_end
+}
+criterion_main!(benches);

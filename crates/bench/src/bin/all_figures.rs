@@ -1,0 +1,21 @@
+//! Regenerates every table and figure by invoking the sibling harness
+//! binaries in sequence (see DESIGN.md §3 for the index).
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table1", "table2", "hwcost", "fig04", "fig05", "fig06", "fig07", "fig08a", "fig08b",
+    "fig09", "fig10a", "fig10b", "fig11", "fig12", "fig13a", "fig13b", "stats66",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for bin in BINS {
+        println!("==== {bin} ====");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+}

@@ -1,0 +1,5 @@
+//! Fig 11: adaptive vs best-static WL-Cache (LRU/FIFO cache
+//! replacement) vs NVSRAM(ideal), Power Trace 1.
+fn main() {
+    ehsim_bench::adaptive_figure(ehsim_energy::TraceKind::Rf1, "fig11");
+}

@@ -1,0 +1,23 @@
+//! Per-workload probe (not a paper figure): instruction counts, NVM
+//! footprints and trace-1 outage counts, used to balance kernel sizes.
+
+use ehsim::SimConfig;
+use ehsim_bench::run;
+use ehsim_energy::TraceKind;
+use ehsim_workloads::prelude::*;
+
+fn main() {
+    println!("workload\tinstrs(k)\tmem(kB)\ttr1-outages\ttr1-time(ms)");
+    for w in all23(Scale::Default) {
+        let r = run(SimConfig::wl_cache(), w.as_ref());
+        let rt = run(SimConfig::wl_cache().with_trace(TraceKind::Rf1), w.as_ref());
+        println!(
+            "{}\t{}\t{}\t{}\t{:.1}",
+            w.name(),
+            r.instructions / 1_000,
+            w.mem_bytes() / 1024,
+            rt.outages,
+            rt.total_seconds() * 1e3,
+        );
+    }
+}

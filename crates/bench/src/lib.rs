@@ -1,0 +1,213 @@
+//! Harness utilities shared by the figure-regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the index) by sweeping the relevant
+//! configurations with [`ehsim::Simulator`] and printing a TSV both to
+//! stdout and to `results/<name>.tsv`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ehsim::{Report, SimConfig, Simulator};
+use ehsim_mem::Workload;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Runs one workload under one configuration, panicking with context on
+/// simulation errors (the harness treats them as fatal).
+pub fn run(cfg: SimConfig, workload: &dyn Workload) -> Report {
+    let label = cfg.design.label();
+    let trace = cfg.trace.label();
+    Simulator::new(cfg)
+        .run(workload)
+        .unwrap_or_else(|e| panic!("{label} / {} on {trace}: {e}", workload.name()))
+}
+
+/// A simple TSV accumulator that mirrors rows to stdout.
+#[derive(Debug, Default)]
+pub struct Table {
+    out: String,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one row of cells.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let line = cells
+            .into_iter()
+            .map(|c| c.as_ref().to_string())
+            .collect::<Vec<_>>()
+            .join("\t");
+        println!("{line}");
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    /// Writes the accumulated TSV under `results/<name>.tsv`
+    /// (best-effort; the harness still printed everything to stdout).
+    pub fn save(&self, name: &str) {
+        let dir = Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{name}.tsv"));
+            if std::fs::write(&path, &self.out).is_ok() {
+                eprintln!("[saved {}]", path.display());
+            }
+        }
+    }
+}
+
+/// Formats a ratio with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Geometric mean re-export for the binaries.
+pub use ehsim::gmean;
+
+/// Splits the 23 reports into (MediaBench, MiBench) halves by the known
+/// suite sizes, for the per-suite gmeans the paper prints.
+pub fn suite_split<T>(all: &[T]) -> (&[T], &[T]) {
+    assert_eq!(all.len(), 23, "expected the full 23-workload sweep");
+    all.split_at(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehsim_workloads::prelude::*;
+
+    #[test]
+    fn run_executes_a_small_workload() {
+        let r = run(SimConfig::wl_cache(), &Sha::small());
+        assert!(r.total_time_ps > 0);
+    }
+
+    #[test]
+    fn suite_split_is_15_8() {
+        let v: Vec<u32> = (0..23).collect();
+        let (a, b) = suite_split(&v);
+        assert_eq!(a.len(), 15);
+        assert_eq!(b.len(), 8);
+    }
+}
+
+/// Runs the full 23-workload suite under `cfg` at `scale`, in figure
+/// order.
+pub fn run_suite(cfg: &SimConfig, scale: ehsim_workloads::Scale) -> Vec<Report> {
+    ehsim_workloads::all23(scale)
+        .iter()
+        .map(|w| run(cfg.clone(), w.as_ref()))
+        .collect()
+}
+
+/// The 23 workload labels in figure order, plus the three gmean columns
+/// the paper appends ("gmean(Media)", "gmean(Mi)", "gmean(Total)").
+pub fn workload_labels() -> Vec<String> {
+    ehsim_workloads::all23(ehsim_workloads::Scale::Small)
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect()
+}
+
+/// Appends per-suite and total gmean values to a row of 23 per-app
+/// values, in the paper's order.
+pub fn with_gmeans(values: &[f64]) -> Vec<f64> {
+    let (media, mi) = suite_split(values);
+    let mut out = values.to_vec();
+    out.push(gmean(media.iter().copied()).unwrap_or(1.0));
+    out.push(gmean(mi.iter().copied()).unwrap_or(1.0));
+    out.push(gmean(values.iter().copied()).unwrap_or(1.0));
+    out
+}
+
+/// Regenerates one of the Fig 4/5/6 speedup figures: per-application
+/// speedup of each design relative to NVSRAM(ideal) under `trace`,
+/// with the paper's per-suite gmean columns. Writes `results/<name>.tsv`.
+pub fn speedup_figure(trace: ehsim_energy::TraceKind, name: &str) {
+    use ehsim_workloads::Scale;
+    let mut t = Table::new();
+    let mut header = vec!["design".to_string()];
+    header.extend(workload_labels());
+    header.extend(
+        ["gmean(Media)", "gmean(Mi)", "gmean(Total)"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    t.row(header);
+
+    let base = run_suite(&SimConfig::nvsram().with_trace(trace), Scale::Default);
+    for cfg in SimConfig::all_designs() {
+        let label = cfg.design.label().to_string();
+        let reports = run_suite(&cfg.with_trace(trace), Scale::Default);
+        let speedups: Vec<f64> = reports
+            .iter()
+            .zip(&base)
+            .map(|(r, b)| r.speedup_vs(b))
+            .collect();
+        let mut row = vec![label];
+        row.extend(with_gmeans(&speedups).iter().map(|v| f3(*v)));
+        t.row(row);
+    }
+    t.save(name);
+}
+
+/// Regenerates Fig 11/12: adaptive vs best-static WL-Cache (per cache
+/// replacement policy) relative to NVSRAM(ideal) under `trace`.
+pub fn adaptive_figure(trace: ehsim_energy::TraceKind, name: &str) {
+    use ehsim_cache::ReplacementPolicy;
+    use ehsim_workloads::Scale;
+    let mut t = Table::new();
+    let mut header = vec!["config".to_string()];
+    header.extend(workload_labels());
+    header.extend(
+        ["gmean(Media)", "gmean(Mi)", "gmean(Total)"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    t.row(header);
+
+    let base = run_suite(&SimConfig::nvsram().with_trace(trace), Scale::Default);
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo] {
+        // Best static: per application, the best of maxline 2/4/6/8
+        // (exactly how the paper picks "Best" from the Fig 9 sweep).
+        let mut best = vec![f64::MIN; 23];
+        for maxline in [2usize, 4, 6, 8] {
+            let cfg = SimConfig::wl_cache_static(maxline)
+                .with_cache_policy(policy)
+                .with_trace(trace);
+            let reports = run_suite(&cfg, Scale::Default);
+            for (i, (r, b)) in reports.iter().zip(&base).enumerate() {
+                best[i] = best[i].max(r.speedup_vs(b));
+            }
+        }
+        let mut row = vec![format!("{}(Best)", policy.label())];
+        row.extend(with_gmeans(&best).iter().map(|v| f3(*v)));
+        t.row(row);
+
+        let cfg = SimConfig::wl_cache()
+            .with_cache_policy(policy)
+            .with_trace(trace);
+        let reports = run_suite(&cfg, Scale::Default);
+        let adap: Vec<f64> = reports
+            .iter()
+            .zip(&base)
+            .map(|(r, b)| r.speedup_vs(b))
+            .collect();
+        let mut row = vec![format!("{}(Adap)", policy.label())];
+        row.extend(with_gmeans(&adap).iter().map(|v| f3(*v)));
+        t.row(row);
+    }
+    t.save(name);
+}

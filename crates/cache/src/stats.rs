@@ -1,0 +1,97 @@
+//! Access statistics shared by all cache designs.
+
+use ehsim_mem::Ps;
+
+/// Counters every design maintains while serving traffic.
+///
+/// The figure harness derives the paper's metrics from these: write
+/// traffic (Fig 7) from `nvm_write_bytes`, stall overhead (§6.6) from
+/// `stall_ps`, hit rates for the sensitivity analyses, and so on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Load operations issued by the core.
+    pub loads: u64,
+    /// Store operations issued by the core.
+    pub stores: u64,
+    /// Loads that hit in the cache.
+    pub load_hits: u64,
+    /// Stores that hit in the cache.
+    pub store_hits: u64,
+    /// Demand line fills from NVM.
+    pub line_fills: u64,
+    /// Lines written back to NVM on eviction.
+    pub evict_writebacks: u64,
+    /// Asynchronous line write-backs issued (WL-Cache cleaning,
+    /// ReplayCache region persists).
+    pub async_writebacks: u64,
+    /// Dirty lines flushed by JIT checkpoints.
+    pub checkpoint_lines: u64,
+    /// Synchronous word writes to NVM (write-through stores).
+    pub word_writes: u64,
+    /// Total bytes written to NVM main memory (all causes).
+    pub nvm_write_bytes: u64,
+    /// Total bytes read from NVM main memory.
+    pub nvm_read_bytes: u64,
+    /// Time the core spent stalled waiting for a DirtyQueue slot
+    /// (WL-Cache) or a region persist (ReplayCache).
+    pub stall_ps: Ps,
+    /// Lines restored into the cache at reboot (NVSRAM warm restore).
+    pub restored_lines: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total memory operations.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Combined hit rate over loads and stores, or 1.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let acc = self.accesses();
+        if acc == 0 {
+            1.0
+        } else {
+            (self.load_hits + self.store_hits) as f64 / acc as f64
+        }
+    }
+
+    /// Load miss count.
+    pub fn load_misses(&self) -> u64 {
+        self.loads - self.load_hits
+    }
+
+    /// Store miss count.
+    pub fn store_misses(&self) -> u64 {
+        self.stores - self.store_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_idle() {
+        assert_eq!(CacheStats::new().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn derived_counters() {
+        let s = CacheStats {
+            loads: 10,
+            stores: 6,
+            load_hits: 8,
+            store_hits: 3,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.accesses(), 16);
+        assert_eq!(s.load_misses(), 2);
+        assert_eq!(s.store_misses(), 3);
+        assert!((s.hit_rate() - 11.0 / 16.0).abs() < 1e-12);
+    }
+}

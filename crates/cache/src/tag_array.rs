@@ -1,0 +1,401 @@
+//! Data-carrying set-associative tag/data array.
+
+use crate::{CacheGeometry, ReplacementPolicy};
+use ehsim_mem::AccessSize;
+
+/// Identifies one line slot in a [`TagArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SetWay {
+    /// Set index.
+    pub set: u32,
+    /// Way within the set.
+    pub way: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+    filled_at: u64,
+    data: Box<[u8]>,
+}
+
+/// A set-associative cache array that stores both metadata and line
+/// contents.
+///
+/// Carrying real bytes means the simulated hierarchy is *functionally*
+/// correct: workloads read back exactly what they stored through whatever
+/// sequence of fills, write-backs, evictions and power failures occurred.
+/// This is the substrate of every cache design in the reproduction.
+///
+/// The array itself is policy-passive: callers decide when to fill,
+/// invalidate and clean lines; [`TagArray::victim`] implements the
+/// LRU/FIFO *selection* only. Timing and energy live in the designs.
+#[derive(Debug, Clone)]
+pub struct TagArray {
+    geom: CacheGeometry,
+    policy: ReplacementPolicy,
+    lines: Vec<Line>,
+    tick: u64,
+}
+
+impl TagArray {
+    /// Creates an empty (all-invalid) array.
+    pub fn new(geom: CacheGeometry, policy: ReplacementPolicy) -> Self {
+        let n = geom.n_lines() as usize;
+        let line = Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            last_use: 0,
+            filled_at: 0,
+            data: vec![0u8; geom.line_bytes() as usize].into_boxed_slice(),
+        };
+        Self {
+            geom,
+            policy,
+            lines: vec![line; n],
+            tick: 0,
+        }
+    }
+
+    /// The array's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geom
+    }
+
+    /// The replacement policy used by [`TagArray::victim`].
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    #[inline]
+    fn ix(&self, sw: SetWay) -> usize {
+        (sw.set * self.geom.ways() + sw.way) as usize
+    }
+
+    /// Finds the slot holding `addr`'s line, if present and valid.
+    pub fn lookup(&self, addr: u32) -> Option<SetWay> {
+        let set = self.geom.set_of(addr);
+        let tag = self.geom.tag_of(addr);
+        (0..self.geom.ways())
+            .map(|way| SetWay { set, way })
+            .find(|&sw| {
+                let l = &self.lines[self.ix(sw)];
+                l.valid && l.tag == tag
+            })
+    }
+
+    /// Records a use of `sw` for LRU bookkeeping.
+    pub fn touch(&mut self, sw: SetWay) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ix = self.ix(sw);
+        self.lines[ix].last_use = tick;
+    }
+
+    /// Chooses the way that `addr`'s fill should displace: an invalid way
+    /// if one exists, otherwise the policy's victim (LRU stamp or FIFO
+    /// fill order).
+    pub fn victim(&self, addr: u32) -> SetWay {
+        let set = self.geom.set_of(addr);
+        let mut best: Option<(u64, SetWay)> = None;
+        for way in 0..self.geom.ways() {
+            let sw = SetWay { set, way };
+            let l = &self.lines[self.ix(sw)];
+            if !l.valid {
+                return sw;
+            }
+            let key = match self.policy {
+                ReplacementPolicy::Lru => l.last_use,
+                ReplacementPolicy::Fifo => l.filled_at,
+            };
+            if best.map_or(true, |(k, _)| key < k) {
+                best = Some((key, sw));
+            }
+        }
+        best.expect("sets have at least one way").1
+    }
+
+    /// Installs `addr`'s line with contents `data`, valid and clean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one line long.
+    pub fn fill(&mut self, sw: SetWay, addr: u32, data: &[u8]) {
+        assert_eq!(data.len() as u32, self.geom.line_bytes());
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = self.geom.tag_of(addr);
+        let ix = self.ix(sw);
+        let l = &mut self.lines[ix];
+        l.tag = tag;
+        l.valid = true;
+        l.dirty = false;
+        l.last_use = tick;
+        l.filled_at = tick;
+        l.data.copy_from_slice(data);
+    }
+
+    /// Whether `sw` holds a valid line.
+    pub fn is_valid(&self, sw: SetWay) -> bool {
+        self.lines[self.ix(sw)].valid
+    }
+
+    /// Whether `sw` holds a valid, dirty line.
+    pub fn is_dirty(&self, sw: SetWay) -> bool {
+        let l = &self.lines[self.ix(sw)];
+        l.valid && l.dirty
+    }
+
+    /// Sets or clears the dirty bit of a valid line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is invalid.
+    pub fn set_dirty(&mut self, sw: SetWay, dirty: bool) {
+        let ix = self.ix(sw);
+        assert!(self.lines[ix].valid, "cannot mark an invalid line");
+        self.lines[ix].dirty = dirty;
+    }
+
+    /// Invalidates one slot.
+    pub fn invalidate(&mut self, sw: SetWay) {
+        let ix = self.ix(sw);
+        self.lines[ix].valid = false;
+        self.lines[ix].dirty = false;
+    }
+
+    /// Invalidates every line (volatile cache at power-off).
+    pub fn invalidate_all(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+            l.dirty = false;
+        }
+    }
+
+    /// Base address of the line currently held at `sw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is invalid.
+    pub fn base_addr(&self, sw: SetWay) -> u32 {
+        let l = &self.lines[self.ix(sw)];
+        assert!(l.valid, "invalid slot has no address");
+        self.geom.base_of(l.tag, sw.set)
+    }
+
+    /// Borrows the line contents at `sw`.
+    pub fn line_data(&self, sw: SetWay) -> &[u8] {
+        &self.lines[self.ix(sw)].data
+    }
+
+    /// LRU stamp of the line at `sw` (used by the DirtyQueue's LRU
+    /// replacement policy, which searches for the least-recently-used
+    /// dirty line).
+    pub fn last_use(&self, sw: SetWay) -> u64 {
+        self.lines[self.ix(sw)].last_use
+    }
+
+    /// Reads `size` bytes at `addr` from the (hitting) line at `sw`,
+    /// little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not fall within the line held at `sw`.
+    pub fn read(&self, sw: SetWay, addr: u32, size: AccessSize) -> u64 {
+        let off = self.offset_checked(sw, addr, size);
+        let data = &self.lines[self.ix(sw)].data;
+        let mut v = 0u64;
+        for i in 0..size.bytes() as usize {
+            v |= u64::from(data[off + i]) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes `size` bytes of `value` at `addr` into the line at `sw`.
+    /// Does **not** change the dirty bit — that is a policy decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` does not fall within the line held at `sw`.
+    pub fn write(&mut self, sw: SetWay, addr: u32, size: AccessSize, value: u64) {
+        let off = self.offset_checked(sw, addr, size);
+        let ix = self.ix(sw);
+        let data = &mut self.lines[ix].data;
+        for i in 0..size.bytes() as usize {
+            data[off + i] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    fn offset_checked(&self, sw: SetWay, addr: u32, size: AccessSize) -> usize {
+        let l = &self.lines[self.ix(sw)];
+        assert!(l.valid, "access to invalid line");
+        let base = self.geom.base_of(l.tag, sw.set);
+        assert_eq!(
+            self.geom.line_base(addr),
+            base,
+            "address 0x{addr:x} not in line at 0x{base:x}"
+        );
+        let off = (addr - base) as usize;
+        assert!(off + size.bytes() as usize <= self.geom.line_bytes() as usize);
+        off
+    }
+
+    /// Iterates over all valid dirty lines as `(slot, base_addr)`.
+    pub fn dirty_lines(&self) -> impl Iterator<Item = (SetWay, u32)> + '_ {
+        let ways = self.geom.ways();
+        (0..self.geom.n_lines()).filter_map(move |i| {
+            let sw = SetWay {
+                set: i / ways,
+                way: i % ways,
+            };
+            let l = &self.lines[self.ix(sw)];
+            (l.valid && l.dirty).then(|| (sw, self.geom.base_of(l.tag, sw.set)))
+        })
+    }
+
+    /// Iterates over all valid lines as `(slot, base_addr)`.
+    pub fn valid_lines(&self) -> impl Iterator<Item = (SetWay, u32)> + '_ {
+        let ways = self.geom.ways();
+        (0..self.geom.n_lines()).filter_map(move |i| {
+            let sw = SetWay {
+                set: i / ways,
+                way: i % ways,
+            };
+            let l = &self.lines[self.ix(sw)];
+            l.valid.then(|| (sw, self.geom.base_of(l.tag, sw.set)))
+        })
+    }
+
+    /// Number of valid dirty lines.
+    pub fn count_dirty(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid && l.dirty).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TagArray {
+        // 2 sets, 2 ways, 64 B lines.
+        TagArray::new(CacheGeometry::new(256, 2, 64), ReplacementPolicy::Lru)
+    }
+
+    fn line(v: u8) -> Vec<u8> {
+        vec![v; 64]
+    }
+
+    #[test]
+    fn cold_array_misses_everything() {
+        let a = small();
+        assert!(a.lookup(0).is_none());
+        assert_eq!(a.count_dirty(), 0);
+        assert_eq!(a.dirty_lines().count(), 0);
+    }
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut a = small();
+        let sw = a.victim(0x100);
+        a.fill(sw, 0x100, &line(7));
+        assert_eq!(a.lookup(0x100), Some(sw));
+        assert_eq!(a.lookup(0x13f), Some(sw)); // same line
+        assert!(a.lookup(0x140).is_none()); // next line
+        assert_eq!(a.base_addr(sw), 0x100);
+        assert_eq!(a.read(sw, 0x104, AccessSize::B4), 0x0707_0707);
+    }
+
+    #[test]
+    fn victim_prefers_invalid_way() {
+        let mut a = small();
+        let sw0 = a.victim(0);
+        a.fill(sw0, 0, &line(1));
+        let sw1 = a.victim(0x100); // same set (set 0 of 2 sets? 0x100=256 → set 0)
+        assert_eq!(sw1.set, sw0.set);
+        assert_ne!(sw1.way, sw0.way);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        let mut a = small();
+        let s0 = a.victim(0x000);
+        a.fill(s0, 0x000, &line(1));
+        let s1 = a.victim(0x100);
+        a.fill(s1, 0x100, &line(2));
+        // Touch the older line; the newer becomes the LRU victim.
+        a.touch(s0);
+        let v = a.victim(0x200);
+        assert_eq!(v, s1);
+    }
+
+    #[test]
+    fn fifo_victim_ignores_touches() {
+        let mut a = TagArray::new(CacheGeometry::new(256, 2, 64), ReplacementPolicy::Fifo);
+        let s0 = a.victim(0x000);
+        a.fill(s0, 0x000, &line(1));
+        let s1 = a.victim(0x100);
+        a.fill(s1, 0x100, &line(2));
+        a.touch(s0);
+        a.touch(s0);
+        let v = a.victim(0x200);
+        assert_eq!(v, s0, "FIFO evicts oldest fill regardless of touches");
+    }
+
+    #[test]
+    fn write_read_round_trip_and_dirty_tracking() {
+        let mut a = small();
+        let sw = a.victim(0x40);
+        a.fill(sw, 0x40, &line(0));
+        a.write(sw, 0x48, AccessSize::B8, 0x1122_3344_5566_7788);
+        assert_eq!(a.read(sw, 0x48, AccessSize::B8), 0x1122_3344_5566_7788);
+        assert!(!a.is_dirty(sw), "write alone does not set dirty");
+        a.set_dirty(sw, true);
+        assert!(a.is_dirty(sw));
+        assert_eq!(a.count_dirty(), 1);
+        let d: Vec<_> = a.dirty_lines().collect();
+        assert_eq!(d, vec![(sw, 0x40)]);
+        a.set_dirty(sw, false);
+        assert_eq!(a.count_dirty(), 0);
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let mut a = small();
+        for addr in [0u32, 0x40, 0x80, 0xc0] {
+            let sw = a.victim(addr);
+            a.fill(sw, addr, &line(9));
+            a.set_dirty(sw, true);
+        }
+        assert_eq!(a.valid_lines().count(), 4);
+        a.invalidate_all();
+        assert_eq!(a.valid_lines().count(), 0);
+        assert_eq!(a.count_dirty(), 0);
+        assert!(a.lookup(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in line")]
+    fn cross_line_access_panics() {
+        let mut a = small();
+        let sw = a.victim(0);
+        a.fill(sw, 0, &line(0));
+        let _ = a.read(sw, 0x40, AccessSize::B1);
+    }
+
+    #[test]
+    fn conflicting_fill_replaces_tag() {
+        let mut a = TagArray::new(CacheGeometry::new(128, 1, 64), ReplacementPolicy::Lru);
+        let sw = a.victim(0x000);
+        a.fill(sw, 0x000, &line(1));
+        // 0x80 maps to the same (single-way) set 0? set count = 2.
+        let sw2 = a.victim(0x100);
+        assert_eq!(sw2, sw);
+        a.fill(sw2, 0x100, &line(2));
+        assert!(a.lookup(0x000).is_none());
+        assert_eq!(a.lookup(0x100), Some(sw));
+    }
+}

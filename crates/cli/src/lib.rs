@@ -1,0 +1,467 @@
+//! Command-line driver for the WL-Cache energy-harvesting simulator.
+//!
+//! ```text
+//! ehsim-cli run --workload sha --design wl --trace rf1 --verify
+//! ehsim-cli compare --workload qsort --trace rf2
+//! ehsim-cli list
+//! ```
+//!
+//! The argument parser is hand-rolled (the workspace keeps its
+//! dependency set to the offline-approved crates) and exposed from this
+//! library so it can be unit-tested; `src/main.rs` is a thin shell.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ehsim::{DesignKind, Report, SimConfig, Simulator};
+use ehsim_cache::{CacheGeometry, ReplacementPolicy};
+use ehsim_energy::TraceKind;
+use ehsim_mem::Workload;
+use ehsim_workloads::{all23, Scale};
+use std::fmt::Write as _;
+use wl_cache::{AdaptationMode, DqPolicy, Thresholds};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one workload under one configuration.
+    Run(RunOptions),
+    /// Run one workload under every design and print a comparison.
+    Compare(RunOptions),
+    /// List available workloads, designs and traces.
+    List,
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by `run` and `compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Workload label (paper figure name, e.g. `sha`).
+    pub workload: String,
+    /// Design selector (ignored by `compare`).
+    pub design: String,
+    /// Trace selector.
+    pub trace: String,
+    /// Path to a recorded trace file (overrides `trace`).
+    pub trace_file: Option<String>,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Cache size in bytes.
+    pub cache_bytes: u32,
+    /// Set associativity.
+    pub ways: u32,
+    /// WL-Cache maxline (static configurations).
+    pub maxline: Option<usize>,
+    /// DirtyQueue replacement policy.
+    pub dq_policy: DqPolicy,
+    /// Adaptation mode for WL-Cache.
+    pub adaptation: AdaptationMode,
+    /// Cache replacement policy.
+    pub cache_policy: ReplacementPolicy,
+    /// Capacitor size in µF.
+    pub capacitor_uf: f64,
+    /// Verify crash consistency at every checkpoint.
+    pub verify: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            workload: "sha".into(),
+            design: "wl".into(),
+            trace: "none".into(),
+            trace_file: None,
+            scale: Scale::Default,
+            cache_bytes: 1024,
+            ways: 2,
+            maxline: None,
+            dq_policy: DqPolicy::Fifo,
+            adaptation: AdaptationMode::Adaptive,
+            cache_policy: ReplacementPolicy::Lru,
+            capacitor_uf: 1.0,
+            verify: false,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ehsim-cli — WL-Cache energy-harvesting simulator
+
+USAGE:
+  ehsim-cli run     --workload <name> [--design <d>] [--trace <t>] [options]
+  ehsim-cli compare --workload <name> [--trace <t>] [options]
+  ehsim-cli list
+  ehsim-cli help
+
+OPTIONS:
+  --workload <name>     one of the 23 paper kernels (see `list`)
+  --design <d>          wl | wl-dyn | nvsram | wt | nvcache | replay | wbuf
+  --trace <t>           none | rf1 | rf2 | rf3 | solar | thermal
+  --trace-file <path>   recorded trace file (duration_us power_uw lines)
+  --scale <s>           small | default          (default: default)
+  --cache <bytes>       cache size               (default: 1024)
+  --ways <n>            associativity            (default: 2)
+  --maxline <n>         static WL maxline 1..8   (default: adaptive)
+  --dq-policy <p>       fifo | lru               (default: fifo)
+  --adaptation <a>      static | adaptive | dynamic
+  --cache-policy <p>    lru | fifo               (default: lru)
+  --capacitor-uf <f>    capacitor size in uF     (default: 1.0)
+  --verify              oracle-check every checkpoint
+";
+
+/// Parses a command line (without the binary name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, flags or
+/// values.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" | "compare" => {
+            let mut opt = RunOptions::default();
+            let mut it = args[1..].iter();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag.as_str() {
+                    "--workload" => opt.workload = value("--workload")?,
+                    "--design" => opt.design = value("--design")?,
+                    "--trace" => opt.trace = value("--trace")?,
+                    "--trace-file" => opt.trace_file = Some(value("--trace-file")?),
+                    "--scale" => {
+                        opt.scale = match value("--scale")?.as_str() {
+                            "small" => Scale::Small,
+                            "default" => Scale::Default,
+                            other => return Err(format!("unknown scale '{other}'")),
+                        }
+                    }
+                    "--cache" => {
+                        opt.cache_bytes = value("--cache")?
+                            .parse()
+                            .map_err(|e| format!("--cache: {e}"))?
+                    }
+                    "--ways" => {
+                        opt.ways = value("--ways")?
+                            .parse()
+                            .map_err(|e| format!("--ways: {e}"))?
+                    }
+                    "--maxline" => {
+                        opt.maxline = Some(
+                            value("--maxline")?
+                                .parse()
+                                .map_err(|e| format!("--maxline: {e}"))?,
+                        )
+                    }
+                    "--dq-policy" => {
+                        opt.dq_policy = match value("--dq-policy")?.as_str() {
+                            "fifo" => DqPolicy::Fifo,
+                            "lru" => DqPolicy::Lru,
+                            other => return Err(format!("unknown DQ policy '{other}'")),
+                        }
+                    }
+                    "--adaptation" => {
+                        opt.adaptation = match value("--adaptation")?.as_str() {
+                            "static" => AdaptationMode::Static,
+                            "adaptive" => AdaptationMode::Adaptive,
+                            "dynamic" => AdaptationMode::Dynamic,
+                            other => return Err(format!("unknown adaptation '{other}'")),
+                        }
+                    }
+                    "--cache-policy" => {
+                        opt.cache_policy = match value("--cache-policy")?.as_str() {
+                            "lru" => ReplacementPolicy::Lru,
+                            "fifo" => ReplacementPolicy::Fifo,
+                            other => return Err(format!("unknown cache policy '{other}'")),
+                        }
+                    }
+                    "--capacitor-uf" => {
+                        opt.capacitor_uf = value("--capacitor-uf")?
+                            .parse()
+                            .map_err(|e| format!("--capacitor-uf: {e}"))?
+                    }
+                    "--verify" => opt.verify = true,
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            if cmd == "run" {
+                Ok(Command::Run(opt))
+            } else {
+                Ok(Command::Compare(opt))
+            }
+        }
+        other => Err(format!("unknown command '{other}' (try `help`)")),
+    }
+}
+
+/// Resolves a trace selector.
+///
+/// # Errors
+///
+/// Returns a message listing the valid selectors.
+pub fn trace_of(name: &str) -> Result<TraceKind, String> {
+    Ok(match name {
+        "none" => TraceKind::None,
+        "rf1" => TraceKind::Rf1,
+        "rf2" => TraceKind::Rf2,
+        "rf3" => TraceKind::Rf3,
+        "solar" => TraceKind::Solar,
+        "thermal" => TraceKind::Thermal,
+        other => {
+            return Err(format!(
+                "unknown trace '{other}' (none|rf1|rf2|rf3|solar|thermal)"
+            ))
+        }
+    })
+}
+
+/// Builds the [`SimConfig`] described by `opt`.
+///
+/// # Errors
+///
+/// Returns a message for unknown designs/traces or invalid thresholds.
+pub fn config_of(opt: &RunOptions) -> Result<SimConfig, String> {
+    let design = match opt.design.as_str() {
+        "wl" => {
+            let thresholds = match opt.maxline {
+                Some(m) => Thresholds::with_maxline(8, m).map_err(|e| e.to_string())?,
+                None => Thresholds::paper_default(),
+            };
+            let adaptation = if opt.maxline.is_some() {
+                AdaptationMode::Static
+            } else {
+                opt.adaptation
+            };
+            DesignKind::Wl {
+                thresholds,
+                dq_policy: opt.dq_policy,
+                adaptation,
+            }
+        }
+        "wl-dyn" => DesignKind::Wl {
+            thresholds: Thresholds::paper_default(),
+            dq_policy: opt.dq_policy,
+            adaptation: AdaptationMode::Dynamic,
+        },
+        "nvsram" => DesignKind::NvSram,
+        "wt" => DesignKind::VCacheWt,
+        "nvcache" => DesignKind::NvCacheWb,
+        "replay" => DesignKind::Replay { region_instrs: 64 },
+        "wbuf" => DesignKind::WBuf { capacity: 6 },
+        other => return Err(format!("unknown design '{other}'")),
+    };
+    let mut cfg = SimConfig::wl_cache();
+    cfg.design = design;
+    cfg.geometry = CacheGeometry::new(opt.cache_bytes, opt.ways, 64);
+    cfg.cache_policy = opt.cache_policy;
+    cfg = cfg
+        .with_trace(trace_of(&opt.trace)?)
+        .with_capacitor_uf(opt.capacitor_uf);
+    if let Some(path) = &opt.trace_file {
+        let trace = ehsim_energy::load_trace(path)
+            .map_err(|e| format!("--trace-file {path}: {e}"))?;
+        cfg = cfg.with_custom_trace(trace);
+    }
+    if opt.verify {
+        cfg = cfg.with_verify();
+    }
+    Ok(cfg)
+}
+
+/// Finds a workload by its figure label.
+///
+/// # Errors
+///
+/// Returns a message listing valid names.
+pub fn workload_of(name: &str, scale: Scale) -> Result<Box<dyn Workload>, String> {
+    all23(scale)
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| {
+            let names: Vec<String> = all23(Scale::Small)
+                .iter()
+                .map(|w| w.name().to_string())
+                .collect();
+            format!("unknown workload '{name}'; one of: {}", names.join(", "))
+        })
+}
+
+/// Renders one report as a human-readable block.
+pub fn render_report(r: &Report) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "workload      {}", r.workload);
+    let _ = writeln!(s, "design        {}", r.design);
+    let _ = writeln!(s, "trace         {}", r.trace);
+    let _ = writeln!(s, "time          {:.3} ms", r.total_seconds() * 1e3);
+    let _ = writeln!(
+        s,
+        "  on / off    {:.3} / {:.3} ms",
+        r.on_time_ps as f64 / 1e9,
+        r.off_time_ps as f64 / 1e9
+    );
+    let _ = writeln!(s, "outages       {}", r.outages);
+    let _ = writeln!(s, "instructions  {}", r.instructions);
+    let _ = writeln!(s, "hit rate      {:.2} %", r.cache.hit_rate() * 100.0);
+    let _ = writeln!(s, "NVM writes    {} B", r.cache.nvm_write_bytes);
+    let _ = writeln!(s, "energy        {:.2} uJ", r.energy.total() / 1e6);
+    let _ = writeln!(s, "checksum      {:#018x}", r.checksum);
+    if let Some(wl) = &r.wl {
+        let _ = writeln!(
+            s,
+            "WL            maxline {}..{}, {} reconfigs, {} stalls ({:.3} % stall time)",
+            wl.maxline_min,
+            wl.maxline_max,
+            wl.reconfigurations,
+            wl.stalls,
+            wl.stall_fraction * 100.0
+        );
+    }
+    s
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a message for configuration or simulation failures.
+pub fn execute(cmd: &Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::List => {
+            let mut s = String::from("workloads:\n");
+            for w in all23(Scale::Small) {
+                let _ = writeln!(s, "  {}", w.name());
+            }
+            s.push_str("designs:\n  wl wl-dyn nvsram wt nvcache replay wbuf\n");
+            s.push_str("traces:\n  none rf1 rf2 rf3 solar thermal\n");
+            Ok(s)
+        }
+        Command::Run(opt) => {
+            let cfg = config_of(opt)?;
+            let w = workload_of(&opt.workload, opt.scale)?;
+            let r = Simulator::new(cfg).run(w.as_ref()).map_err(|e| e.to_string())?;
+            Ok(render_report(&r))
+        }
+        Command::Compare(opt) => {
+            let w = workload_of(&opt.workload, opt.scale)?;
+            let mut s = format!(
+                "{:<15} {:>10} {:>8} {:>9} {:>11}\n",
+                "design", "time(ms)", "outages", "hit(%)", "energy(uJ)"
+            );
+            let designs = ["nvsram", "nvcache", "wt", "replay", "wl", "wl-dyn", "wbuf"];
+            for d in designs {
+                let mut o = opt.clone();
+                o.design = d.into();
+                let cfg = config_of(&o)?;
+                let r = Simulator::new(cfg).run(w.as_ref()).map_err(|e| e.to_string())?;
+                let _ = writeln!(
+                    s,
+                    "{:<15} {:>10.3} {:>8} {:>9.2} {:>11.2}",
+                    r.design,
+                    r.total_seconds() * 1e3,
+                    r.outages,
+                    r.cache.hit_rate() * 100.0,
+                    r.energy.total() / 1e6
+                );
+            }
+            Ok(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_run_with_flags() {
+        let cmd = parse(&argv(
+            "run --workload qsort --design nvsram --trace rf2 --cache 2048 \
+             --ways 4 --capacitor-uf 0.5 --verify --scale small",
+        ))
+        .unwrap();
+        let Command::Run(opt) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(opt.workload, "qsort");
+        assert_eq!(opt.design, "nvsram");
+        assert_eq!(opt.cache_bytes, 2048);
+        assert_eq!(opt.ways, 4);
+        assert_eq!(opt.capacitor_uf, 0.5);
+        assert!(opt.verify);
+        assert_eq!(opt.scale, Scale::Small);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_commands() {
+        assert!(parse(&argv("run --bogus 1")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("run --cache")).is_err());
+    }
+
+    #[test]
+    fn maxline_implies_static() {
+        let Command::Run(opt) = parse(&argv("run --maxline 4")).unwrap() else {
+            panic!()
+        };
+        let cfg = config_of(&opt).unwrap();
+        match cfg.design {
+            DesignKind::Wl {
+                thresholds,
+                adaptation,
+                ..
+            } => {
+                assert_eq!(thresholds.maxline(), 4);
+                assert_eq!(adaptation, AdaptationMode::Static);
+            }
+            _ => panic!("expected WL"),
+        }
+    }
+
+    #[test]
+    fn all_designs_resolve() {
+        for d in ["wl", "wl-dyn", "nvsram", "wt", "nvcache", "replay", "wbuf"] {
+            let mut opt = RunOptions::default();
+            opt.design = d.into();
+            assert!(config_of(&opt).is_ok(), "{d}");
+        }
+        let mut opt = RunOptions::default();
+        opt.design = "bogus".into();
+        assert!(config_of(&opt).is_err());
+    }
+
+    #[test]
+    fn workload_lookup_by_figure_label() {
+        assert!(workload_of("FFT_i", Scale::Small).is_ok());
+        assert!(workload_of("nope", Scale::Small).is_err());
+    }
+
+    #[test]
+    fn run_command_executes_end_to_end() {
+        let cmd = parse(&argv("run --workload sha --scale small --trace rf1")).unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("checksum"), "{out}");
+        assert!(out.contains("WL"), "{out}");
+    }
+
+    #[test]
+    fn list_names_everything() {
+        let out = execute(&Command::List).unwrap();
+        assert!(out.contains("adpcmdecode"));
+        assert!(out.contains("wbuf"));
+        assert!(out.contains("thermal"));
+    }
+}

@@ -1,0 +1,13 @@
+//! Thin shell around [`ehsim_cli`]: parse, execute, print.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match ehsim_cli::parse(&args).and_then(|cmd| ehsim_cli::execute(&cmd)) {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{}", ehsim_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

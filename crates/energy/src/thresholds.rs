@@ -1,0 +1,136 @@
+//! Per-design voltage operating points (Table 2 of the paper).
+
+/// Voltage thresholds that govern the power-failure protocol.
+///
+/// - `v_backup`: when the supply drops below this, the system JIT
+///   checkpoints and powers down. `E(v_backup) − E(v_min)` is the energy
+///   *reserved* for checkpointing — designs with larger worst-case
+///   checkpoints must reserve more and therefore get less compute energy
+///   per interval.
+/// - `v_on`: at reboot the system waits until the capacitor recharges to
+///   this voltage. Designs that must re-fill a warm NV cache (NVSRAM)
+///   boot at a higher `v_on`, costing extra recharge time per outage.
+/// - `v_min`/`v_max`: absolute operating window of the buffer.
+///
+/// Table 2 gives `Vbackup/restore`: NV (2.9/3.3), NVSRAM (3.1/3.5),
+/// WL (2.95–3.1 / 3.3–3.5, scaled with the configured maxline), with
+/// `Vmin/max` 2.8/3.5 for all designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageThresholds {
+    /// JIT-checkpoint trigger voltage.
+    pub v_backup: f64,
+    /// Boot/restore voltage.
+    pub v_on: f64,
+    /// Absolute minimum operating voltage.
+    pub v_min: f64,
+    /// Maximum (fully charged) voltage.
+    pub v_max: f64,
+}
+
+impl VoltageThresholds {
+    /// Thresholds for designs that checkpoint registers only: plain NVP,
+    /// NVCache-WB and VCache-WT (Table 2, "NV" row).
+    pub fn nv() -> Self {
+        Self {
+            v_backup: 2.9,
+            v_on: 3.3,
+            v_min: 2.8,
+            v_max: 3.5,
+        }
+    }
+
+    /// Thresholds for NVSRAM(ideal): the reserve must cover the all-dirty
+    /// worst case and the warm-cache restore requires a full charge
+    /// (Table 2, "NVSRAM" row).
+    pub fn nvsram() -> Self {
+        Self {
+            v_backup: 3.1,
+            v_on: 3.5,
+            v_min: 2.8,
+            v_max: 3.5,
+        }
+    }
+
+    /// Thresholds for ReplayCache: no dirty-line checkpoint (region replay
+    /// reconstructs lost stores), so register-only reserves apply.
+    pub fn replay() -> Self {
+        Self::nv()
+    }
+
+    /// Thresholds for WL-Cache at a given `maxline`, linearly interpolated
+    /// across Table 2's `2.95–3.1 / 3.3–3.5` ranges by the fraction of the
+    /// DirtyQueue capacity `dq_capacity` in use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dq_capacity == 0` or `maxline > dq_capacity`.
+    pub fn wl(maxline: usize, dq_capacity: usize) -> Self {
+        assert!(dq_capacity > 0, "DirtyQueue capacity must be positive");
+        assert!(
+            maxline <= dq_capacity,
+            "maxline ({maxline}) must not exceed DirtyQueue capacity ({dq_capacity})"
+        );
+        let frac = maxline as f64 / dq_capacity as f64;
+        Self {
+            v_backup: 2.95 + 0.15 * frac,
+            v_on: 3.3 + 0.2 * frac,
+            v_min: 2.8,
+            v_max: 3.5,
+        }
+    }
+
+    /// `true` if the thresholds are internally consistent:
+    /// `v_min <= v_backup < v_on <= v_max`.
+    pub fn is_valid(&self) -> bool {
+        self.v_min <= self.v_backup && self.v_backup < self.v_on && self.v_on <= self.v_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let nv = VoltageThresholds::nv();
+        assert_eq!((nv.v_backup, nv.v_on), (2.9, 3.3));
+        let s = VoltageThresholds::nvsram();
+        assert_eq!((s.v_backup, s.v_on), (3.1, 3.5));
+        assert!(nv.is_valid() && s.is_valid());
+    }
+
+    #[test]
+    fn wl_interpolates_table2_range() {
+        let lo = VoltageThresholds::wl(0, 8);
+        assert!((lo.v_backup - 2.95).abs() < 1e-12);
+        assert!((lo.v_on - 3.3).abs() < 1e-12);
+        let hi = VoltageThresholds::wl(8, 8);
+        assert!((hi.v_backup - 3.1).abs() < 1e-12);
+        assert!((hi.v_on - 3.5).abs() < 1e-12);
+        let mid = VoltageThresholds::wl(6, 8);
+        assert!(mid.v_backup > lo.v_backup && mid.v_backup < hi.v_backup);
+        assert!(mid.is_valid());
+    }
+
+    #[test]
+    fn wl_reserve_grows_with_maxline() {
+        let a = VoltageThresholds::wl(2, 8);
+        let b = VoltageThresholds::wl(6, 8);
+        assert!(b.v_backup > a.v_backup);
+        assert!(b.v_on > a.v_on);
+    }
+
+    #[test]
+    fn wl_never_exceeds_nvsram_reserve() {
+        for m in 0..=8 {
+            let wl = VoltageThresholds::wl(m, 8);
+            assert!(wl.v_backup <= VoltageThresholds::nvsram().v_backup + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "maxline")]
+    fn wl_rejects_maxline_above_capacity() {
+        let _ = VoltageThresholds::wl(9, 8);
+    }
+}

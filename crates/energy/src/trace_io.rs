@@ -1,0 +1,169 @@
+//! Reading and writing power traces as text.
+//!
+//! Real deployments record harvesting power with a data logger; this
+//! module lets such recordings drive the simulator. The format is a
+//! plain text table, one segment per line: `<duration_us> <power_uw>`,
+//! whitespace-separated, with `#` comments and blank lines ignored —
+//! the same shape as the CSV exports of common source-meter tools.
+
+use crate::PowerTrace;
+use ehsim_mem::Ps;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// A parse failure, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for TraceParseError {}
+
+/// Parses a trace from its text form.
+///
+/// # Errors
+///
+/// Returns [`TraceParseError`] for malformed lines, non-positive
+/// durations, negative/non-finite power, or an empty trace.
+///
+/// # Examples
+///
+/// ```
+/// let trace = ehsim_energy::parse_trace(
+///     "# bursty source\n\
+///      500 12000\n\
+///      1500 80\n",
+/// )?;
+/// assert_eq!(trace.total_ps(), 2_000_000_000);
+/// # Ok::<(), ehsim_energy::TraceParseError>(())
+/// ```
+pub fn parse_trace(text: &str) -> Result<PowerTrace, TraceParseError> {
+    let mut segments: Vec<(Ps, f64)> = Vec::new();
+    for (ix, raw) in text.lines().enumerate() {
+        let line = ix + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let mut parts = content.split([' ', '\t', ',']).filter(|p| !p.is_empty());
+        let err = |message: String| TraceParseError { line, message };
+        let dur_us: f64 = parts
+            .next()
+            .ok_or_else(|| err("missing duration".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad duration: {e}")))?;
+        let power_uw: f64 = parts
+            .next()
+            .ok_or_else(|| err("missing power".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad power: {e}")))?;
+        if parts.next().is_some() {
+            return Err(err("trailing fields".into()));
+        }
+        if !(dur_us > 0.0) || !dur_us.is_finite() {
+            return Err(err(format!("duration must be positive, got {dur_us}")));
+        }
+        if power_uw < 0.0 || !power_uw.is_finite() {
+            return Err(err(format!("power must be >= 0, got {power_uw}")));
+        }
+        segments.push(((dur_us * 1e6).round() as Ps, power_uw));
+    }
+    if segments.is_empty() {
+        return Err(TraceParseError {
+            line: 0,
+            message: "trace has no segments".into(),
+        });
+    }
+    Ok(PowerTrace::from_segments(segments))
+}
+
+/// Renders a trace back to the text form accepted by [`parse_trace`].
+pub fn format_trace(trace: &PowerTrace) -> String {
+    let mut out = String::from("# duration_us power_uw\n");
+    for (dur_ps, uw) in trace.segments_iter() {
+        out.push_str(&format!("{} {:.3}\n", dur_ps as f64 / 1e6, uw));
+    }
+    out
+}
+
+/// Loads a trace from a file.
+///
+/// # Errors
+///
+/// Returns I/O errors and parse errors as boxed errors.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<PowerTrace, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_trace(&text)?)
+}
+
+/// Saves a trace to a file in the text format.
+///
+/// # Errors
+///
+/// Returns I/O errors.
+pub fn save_trace(trace: &PowerTrace, path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, format_trace(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceKind;
+
+    #[test]
+    fn parse_accepts_comments_blanks_and_separators() {
+        let t = parse_trace(
+            "# a comment\n\
+             \n\
+             100 5000   # inline comment\n\
+             200,125.5\n\
+             50\t0\n",
+        )
+        .unwrap();
+        assert_eq!(t.total_ps(), 350_000_000);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse_trace("100 5\nbogus 7\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+        let e = parse_trace("100 5 9\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = parse_trace("-5 100\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+        let e = parse_trace("# only comments\n").unwrap_err();
+        assert!(e.message.contains("no segments"));
+    }
+
+    #[test]
+    fn round_trips_builtin_traces() {
+        let original = TraceKind::Rf1.build();
+        let text = format_trace(&original);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed.total_ps(), original.total_ps());
+        assert!((parsed.mean_power_uw() - original.mean_power_uw()).abs() < 0.01);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ehsim-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("solar.trace");
+        let t = TraceKind::Solar.build();
+        save_trace(&t, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(back.total_ps(), t.total_ps());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,331 @@
+//! A small two-pass assembler with label fixups.
+
+use crate::{Instr, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// A forward-referenceable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An assembled program: encoded words plus its entry point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    words: Vec<u32>,
+}
+
+impl Program {
+    /// The encoded instruction words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Code size in bytes.
+    pub fn byte_len(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+}
+
+/// Assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(
+        /// Index of the offending label.
+        usize,
+    ),
+    /// A branch target is further than a 12-bit instruction offset.
+    BranchOutOfRange {
+        /// Instruction index of the branch.
+        at: usize,
+        /// Required offset in instructions.
+        offset: i64,
+    },
+    /// The program has no `halt` (it would run off the end).
+    MissingHalt,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(ix) => write!(f, "label {ix} referenced but never bound"),
+            AsmError::BranchOutOfRange { at, offset } => {
+                write!(f, "branch at instruction {at} needs offset {offset} (max ±2047)")
+            }
+            AsmError::MissingHalt => write!(f, "program does not contain halt"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    /// A branch instruction whose 12-bit offset points at a label.
+    Branch(Label),
+    /// Fully resolved.
+    None,
+}
+
+/// Builder-style assembler.
+///
+/// Instructions are appended with the mnemonic methods; branch targets
+/// are [`Label`]s created with [`Assembler::new_label`] and placed with
+/// [`Assembler::bind`] (before or after the uses). [`Assembler::assemble`]
+/// resolves all fixups.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    instrs: Vec<(Instr, Pending)>,
+    labels: Vec<Option<usize>>,
+}
+
+macro_rules! alu3 {
+    ($($fn_name:ident => $variant:ident),* $(,)?) => {
+        $(
+            /// Appends the corresponding three-register ALU instruction.
+            pub fn $fn_name(&mut self, d: Reg, a: Reg, b: Reg) -> &mut Self {
+                self.push(Instr::$variant(d, a, b))
+            }
+        )*
+    };
+}
+
+macro_rules! alui {
+    ($($fn_name:ident => $variant:ident),* $(,)?) => {
+        $(
+            /// Appends the corresponding register-immediate instruction.
+            pub fn $fn_name(&mut self, d: Reg, a: Reg, imm: i16) -> &mut Self {
+                self.push(Instr::$variant(d, a, imm))
+            }
+        )*
+    };
+}
+
+macro_rules! memop {
+    ($($fn_name:ident => $variant:ident),* $(,)?) => {
+        $(
+            /// Appends the corresponding memory instruction
+            /// (`reg, base, byte_offset`).
+            pub fn $fn_name(&mut self, r: Reg, base: Reg, offset: i16) -> &mut Self {
+                self.push(Instr::$variant(r, base, offset))
+            }
+        )*
+    };
+}
+
+macro_rules! branch {
+    ($($fn_name:ident => $variant:ident),* $(,)?) => {
+        $(
+            /// Appends the corresponding compare-and-branch to `target`.
+            pub fn $fn_name(&mut self, a: Reg, b: Reg, target: Label) -> &mut Self {
+                self.instrs.push((Instr::$variant(a, b, 0), Pending::Branch(target)));
+                self
+            }
+        )*
+    };
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        assert!(
+            self.labels[label.0].replace(self.instrs.len()).is_none(),
+            "label bound twice"
+        );
+        self
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push((i, Pending::None));
+        self
+    }
+
+    alu3! {
+        add => Add, sub => Sub, and => And, or => Or, xor => Xor,
+        sll => Sll, srl => Srl, mul => Mul, sltu => SltU,
+    }
+
+    alui! {
+        addi => Addi, andi => Andi, ori => Ori, xori => Xori,
+    }
+
+    /// Appends a shift-left-immediate.
+    pub fn slli(&mut self, d: Reg, a: Reg, shamt: u8) -> &mut Self {
+        self.push(Instr::Slli(d, a, shamt))
+    }
+
+    /// Appends a shift-right-immediate.
+    pub fn srli(&mut self, d: Reg, a: Reg, shamt: u8) -> &mut Self {
+        self.push(Instr::Srli(d, a, shamt))
+    }
+
+    /// Appends `lui` (load the upper 16 bits).
+    pub fn lui(&mut self, d: Reg, imm: u16) -> &mut Self {
+        self.push(Instr::Lui(d, imm))
+    }
+
+    /// Loads a full 32-bit constant.
+    ///
+    /// Uses a single `addi` when the value fits in 11 bits, `lui`+`ori`
+    /// when the low half fits in a positive imm12, and otherwise builds
+    /// the value from three positive ≤ 11-bit chunks with interleaved
+    /// shifts (5 instructions, correct for any `u32`).
+    pub fn li(&mut self, d: Reg, value: u32) -> &mut Self {
+        if value < 2048 {
+            return self.addi(d, Reg::R0, value as i16);
+        }
+        if value & 0xffff < 0x800 {
+            self.lui(d, (value >> 16) as u16);
+            return self.ori(d, d, (value & 0x7ff) as i16);
+        }
+        self.addi(d, Reg::R0, ((value >> 21) & 0x7ff) as i16);
+        self.slli(d, d, 11);
+        self.ori(d, d, ((value >> 10) & 0x7ff) as i16);
+        self.slli(d, d, 10);
+        self.ori(d, d, (value & 0x3ff) as i16)
+    }
+
+    memop! {
+        lw => Lw, lh => Lh, lb => Lb, sw => Sw, sh => Sh, sb => Sb,
+    }
+
+    branch! {
+        beq => Beq, bne => Bne, bltu => Bltu, bgeu => Bgeu,
+    }
+
+    /// Appends an unconditional jump to `target` (discarding the link).
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.instrs
+            .push((Instr::Jal(Reg::R0, 0), Pending::Branch(target)));
+        self
+    }
+
+    /// Appends `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Halt)
+    }
+
+    /// Number of instructions appended so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Resolves fixups and produces the encoded [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for unbound labels, out-of-range branches,
+    /// or a program lacking `halt`.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        if !self.instrs.iter().any(|(i, _)| *i == Instr::Halt) {
+            return Err(AsmError::MissingHalt);
+        }
+        let mut words = Vec::with_capacity(self.instrs.len());
+        for (at, (instr, pending)) in self.instrs.iter().enumerate() {
+            let resolved = match pending {
+                Pending::None => *instr,
+                Pending::Branch(label) => {
+                    let target =
+                        self.labels[label.0].ok_or(AsmError::UnboundLabel(label.0))?;
+                    let offset = target as i64 - at as i64 - 1;
+                    if !(-2048..=2047).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange { at, offset });
+                    }
+                    let o = offset as i16;
+                    use Instr::*;
+                    match *instr {
+                        Beq(a, b, _) => Beq(a, b, o),
+                        Bne(a, b, _) => Bne(a, b, o),
+                        Bltu(a, b, _) => Bltu(a, b, o),
+                        Bgeu(a, b, _) => Bgeu(a, b, o),
+                        Jal(d, _) => Jal(d, o),
+                        other => other,
+                    }
+                }
+            };
+            words.push(resolved.encode());
+        }
+        Ok(Program { words })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Assembler::new();
+        let fwd = asm.new_label();
+        let back = asm.new_label();
+        asm.bind(back);
+        asm.addi(R1, R1, 1);
+        asm.beq(R1, R2, fwd);
+        asm.jmp(back);
+        asm.bind(fwd);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.words().len(), 4);
+        // beq at index 1 targets index 3: offset = 3 - 1 - 1 = 1.
+        assert_eq!(Instr::decode(p.words()[1]), Ok(Instr::Beq(R1, R2, 1)));
+        // jmp at index 2 targets index 0: offset = 0 - 2 - 1 = -3.
+        assert_eq!(Instr::decode(p.words()[2]), Ok(Instr::Jal(R0, -3)));
+    }
+
+    #[test]
+    fn unbound_label_is_reported() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.beq(R0, R0, l);
+        asm.halt();
+        assert_eq!(asm.assemble(), Err(AsmError::UnboundLabel(0)));
+    }
+
+    #[test]
+    fn missing_halt_is_reported() {
+        let mut asm = Assembler::new();
+        asm.addi(R1, R0, 1);
+        assert_eq!(asm.assemble(), Err(AsmError::MissingHalt));
+    }
+
+    #[test]
+    fn li_loads_arbitrary_constants() {
+        // Verified against the CPU in cpu.rs tests; here check lengths.
+        let mut asm = Assembler::new();
+        asm.li(R1, 42);
+        assert_eq!(asm.len(), 1, "small constants use one addi");
+        asm.li(R2, 0x12345678);
+        asm.halt();
+        assert!(asm.assemble().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Assembler::new();
+        let l = asm.new_label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+}

@@ -1,0 +1,292 @@
+//! The in-order interpreter core.
+
+use crate::{Instr, Reg};
+use ehsim_mem::Bus;
+
+/// What a single [`Cpu::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction retired; execution continues.
+    Continue,
+    /// A `halt` retired.
+    Halted,
+}
+
+/// A 16-register in-order core executing over a [`Bus`].
+///
+/// Every instruction fetch is a 4-byte load through the bus — code and
+/// data share the cache, so instruction locality behaves exactly like
+/// data locality. ALU work is charged via `bus.compute` (one cycle per
+/// simple op, a few for multiplies), matching the convention of the
+/// native kernels in `ehsim-workloads`.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; 16],
+    pc: u32,
+    halted: bool,
+    retired: u64,
+}
+
+impl Cpu {
+    /// Creates a core with all registers zero and `pc = entry`.
+    pub fn new(entry: u32) -> Self {
+        Self {
+            regs: [0; 16],
+            pc: entry,
+            halted: false,
+            retired: 0,
+        }
+    }
+
+    /// Reads register `r` (R0 is always zero).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes register `r` (writes to R0 are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::R0 {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether a `halt` has retired.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Fetches, decodes and executes one instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undecodable instruction word (a program bug) or if
+    /// called after `halt`.
+    pub fn step(&mut self, bus: &mut dyn Bus) -> StepOutcome {
+        assert!(!self.halted, "stepping a halted CPU");
+        let word = bus.load_u32(self.pc);
+        let instr = Instr::decode(word)
+            .unwrap_or_else(|e| panic!("pc {:#x}: {e}", self.pc));
+        let mut next_pc = self.pc.wrapping_add(4);
+        self.retired += 1;
+
+        use Instr::*;
+        match instr {
+            Add(d, a, b) => self.alu(bus, d, self.reg(a).wrapping_add(self.reg(b))),
+            Sub(d, a, b) => self.alu(bus, d, self.reg(a).wrapping_sub(self.reg(b))),
+            And(d, a, b) => self.alu(bus, d, self.reg(a) & self.reg(b)),
+            Or(d, a, b) => self.alu(bus, d, self.reg(a) | self.reg(b)),
+            Xor(d, a, b) => self.alu(bus, d, self.reg(a) ^ self.reg(b)),
+            Sll(d, a, b) => self.alu(bus, d, self.reg(a) << (self.reg(b) & 31)),
+            Srl(d, a, b) => self.alu(bus, d, self.reg(a) >> (self.reg(b) & 31)),
+            Mul(d, a, b) => {
+                bus.compute(3); // iterative multiplier
+                let v = self.reg(a).wrapping_mul(self.reg(b));
+                self.set_reg(d, v);
+            }
+            SltU(d, a, b) => self.alu(bus, d, u32::from(self.reg(a) < self.reg(b))),
+            Addi(d, a, i) => self.alu(bus, d, self.reg(a).wrapping_add(i as u32)),
+            Andi(d, a, i) => self.alu(bus, d, self.reg(a) & (i as u32)),
+            Ori(d, a, i) => self.alu(bus, d, self.reg(a) | (i as u32)),
+            Xori(d, a, i) => self.alu(bus, d, self.reg(a) ^ (i as u32)),
+            Slli(d, a, s) => self.alu(bus, d, self.reg(a) << (s & 31)),
+            Srli(d, a, s) => self.alu(bus, d, self.reg(a) >> (s & 31)),
+            Lui(d, imm) => self.alu(bus, d, u32::from(imm) << 16),
+            Lw(d, a, off) => {
+                let v = bus.load_u32(self.addr(a, off));
+                self.set_reg(d, v);
+            }
+            Lh(d, a, off) => {
+                let v = bus.load_u16(self.addr(a, off));
+                self.set_reg(d, u32::from(v));
+            }
+            Lb(d, a, off) => {
+                let v = bus.load_u8(self.addr(a, off));
+                self.set_reg(d, u32::from(v));
+            }
+            Sw(s, a, off) => bus.store_u32(self.addr(a, off), self.reg(s)),
+            Sh(s, a, off) => bus.store_u16(self.addr(a, off), self.reg(s) as u16),
+            Sb(s, a, off) => bus.store_u8(self.addr(a, off), self.reg(s) as u8),
+            Beq(a, b, off) => {
+                bus.compute(1);
+                if self.reg(a) == self.reg(b) {
+                    next_pc = branch_target(self.pc, off);
+                }
+            }
+            Bne(a, b, off) => {
+                bus.compute(1);
+                if self.reg(a) != self.reg(b) {
+                    next_pc = branch_target(self.pc, off);
+                }
+            }
+            Bltu(a, b, off) => {
+                bus.compute(1);
+                if self.reg(a) < self.reg(b) {
+                    next_pc = branch_target(self.pc, off);
+                }
+            }
+            Bgeu(a, b, off) => {
+                bus.compute(1);
+                if self.reg(a) >= self.reg(b) {
+                    next_pc = branch_target(self.pc, off);
+                }
+            }
+            Jal(d, off) => {
+                bus.compute(1);
+                self.set_reg(d, self.pc.wrapping_add(4));
+                next_pc = branch_target(self.pc, off);
+            }
+            Halt => {
+                self.halted = true;
+                return StepOutcome::Halted;
+            }
+        }
+        self.pc = next_pc;
+        StepOutcome::Continue
+    }
+
+    fn alu(&mut self, bus: &mut dyn Bus, d: Reg, v: u32) {
+        bus.compute(1);
+        self.set_reg(d, v);
+    }
+
+    fn addr(&self, base: Reg, off: i16) -> u32 {
+        self.reg(base).wrapping_add(off as u32)
+    }
+}
+
+fn branch_target(pc: u32, off: i16) -> u32 {
+    pc.wrapping_add(4).wrapping_add((i32::from(off) * 4) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assembler;
+    use crate::Reg::*;
+    use ehsim_mem::FunctionalMem;
+
+    /// Assembles, loads at 0, runs to halt, returns the CPU.
+    fn run(asm: &Assembler) -> Cpu {
+        let program = asm.assemble().expect("assembles");
+        let mut mem = FunctionalMem::new(16 * 1024);
+        for (i, w) in program.words().iter().enumerate() {
+            mem.store_u32(4 * i as u32, *w);
+        }
+        let mut cpu = Cpu::new(0);
+        for _ in 0..1_000_000 {
+            if cpu.step(&mut mem) == StepOutcome::Halted {
+                return cpu;
+            }
+        }
+        panic!("program did not halt");
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut asm = Assembler::new();
+        asm.addi(R0, R0, 123);
+        asm.add(R1, R0, R0);
+        asm.halt();
+        let cpu = run(&asm);
+        assert_eq!(cpu.reg(R0), 0);
+        assert_eq!(cpu.reg(R1), 0);
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let mut asm = Assembler::new();
+        asm.addi(R1, R0, 100);
+        asm.addi(R2, R0, 7);
+        asm.sub(R3, R1, R2); // 93
+        asm.mul(R4, R2, R2); // 49
+        asm.xor(R5, R1, R2); // 100 ^ 7 = 99
+        asm.slli(R6, R2, 4); // 112
+        asm.srli(R7, R1, 2); // 25
+        asm.sltu(R8, R2, R1); // 1
+        asm.halt();
+        let cpu = run(&asm);
+        assert_eq!(cpu.reg(R3), 93);
+        assert_eq!(cpu.reg(R4), 49);
+        assert_eq!(cpu.reg(R5), 99);
+        assert_eq!(cpu.reg(R6), 112);
+        assert_eq!(cpu.reg(R7), 25);
+        assert_eq!(cpu.reg(R8), 1);
+    }
+
+    #[test]
+    fn li_materialises_32bit_constants() {
+        for value in [0u32, 42, 2047, 2048, 0xffff, 0x1234_5678, 0xdead_beef] {
+            let mut asm = Assembler::new();
+            asm.li(R1, value);
+            asm.halt();
+            assert_eq!(run(&asm).reg(R1), value, "{value:#x}");
+        }
+    }
+
+    #[test]
+    fn loads_and_stores_subword() {
+        let mut asm = Assembler::new();
+        asm.li(R1, 0x2000); // data base, clear of the code
+        asm.li(R2, 0xa1b2_c3d4);
+        asm.sw(R2, R1, 0);
+        asm.lb(R3, R1, 0); // 0xd4
+        asm.lh(R4, R1, 2); // 0xa1b2
+        asm.sb(R3, R1, 8);
+        asm.lw(R5, R1, 8); // 0x000000d4
+        asm.halt();
+        let cpu = run(&asm);
+        assert_eq!(cpu.reg(R3), 0xd4);
+        assert_eq!(cpu.reg(R4), 0xa1b2);
+        assert_eq!(cpu.reg(R5), 0xd4);
+    }
+
+    #[test]
+    fn loop_with_branches_sums() {
+        // sum 1..=100 = 5050
+        let mut asm = Assembler::new();
+        let top = asm.new_label();
+        asm.addi(R1, R0, 0);
+        asm.addi(R2, R0, 100);
+        asm.bind(top);
+        asm.add(R1, R1, R2);
+        asm.addi(R2, R2, -1);
+        asm.bne(R2, R0, top);
+        asm.halt();
+        assert_eq!(run(&asm).reg(R1), 5050);
+    }
+
+    #[test]
+    fn jal_links_and_jumps() {
+        let mut asm = Assembler::new();
+        let skip = asm.new_label();
+        asm.jmp(skip); // index 0
+        asm.addi(R1, R0, 99); // skipped
+        asm.bind(skip);
+        asm.addi(R2, R0, 1);
+        asm.halt();
+        let cpu = run(&asm);
+        assert_eq!(cpu.reg(R1), 0);
+        assert_eq!(cpu.reg(R2), 1);
+    }
+
+    #[test]
+    fn retired_counts_instructions() {
+        let mut asm = Assembler::new();
+        asm.addi(R1, R0, 1);
+        asm.addi(R1, R1, 1);
+        asm.halt();
+        let cpu = run(&asm);
+        assert_eq!(cpu.retired(), 3);
+        assert!(cpu.is_halted());
+    }
+}

@@ -1,0 +1,292 @@
+//! Instruction set definition, encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// One of the 16 general-purpose registers. `R0` is hard-wired to zero
+/// (writes to it are discarded), as in most RISC ISAs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12, R13, R14, R15,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7,
+        Reg::R8, Reg::R9, Reg::R10, Reg::R11, Reg::R12, Reg::R13, Reg::R14, Reg::R15,
+    ];
+
+    /// Register index (0–15).
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|r| *r == self).expect("in table")
+    }
+
+    fn from_index(ix: u32) -> Reg {
+        Self::ALL[(ix & 0xf) as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// The instruction set: three-operand ALU, immediate ALU, sub-word
+/// loads/stores, compare-and-branch, jump-and-link, and `Halt`.
+///
+/// Branch/jump offsets are in *instructions* (not bytes), relative to
+/// the following instruction, sign-extended from 12 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Instr {
+    // ALU register-register.
+    Add(Reg, Reg, Reg),
+    Sub(Reg, Reg, Reg),
+    And(Reg, Reg, Reg),
+    Or(Reg, Reg, Reg),
+    Xor(Reg, Reg, Reg),
+    Sll(Reg, Reg, Reg),
+    Srl(Reg, Reg, Reg),
+    Mul(Reg, Reg, Reg),
+    SltU(Reg, Reg, Reg),
+    // ALU immediate (12-bit signed immediate).
+    Addi(Reg, Reg, i16),
+    Andi(Reg, Reg, i16),
+    Ori(Reg, Reg, i16),
+    Xori(Reg, Reg, i16),
+    Slli(Reg, Reg, u8),
+    Srli(Reg, Reg, u8),
+    /// Load upper 16 bits of the immediate into `rd` (low bits zero).
+    Lui(Reg, u16),
+    // Memory: rd/rs, base, 12-bit signed byte offset.
+    Lw(Reg, Reg, i16),
+    Lh(Reg, Reg, i16),
+    Lb(Reg, Reg, i16),
+    Sw(Reg, Reg, i16),
+    Sh(Reg, Reg, i16),
+    Sb(Reg, Reg, i16),
+    // Control flow: 12-bit signed instruction offset.
+    Beq(Reg, Reg, i16),
+    Bne(Reg, Reg, i16),
+    Bltu(Reg, Reg, i16),
+    Bgeu(Reg, Reg, i16),
+    /// Jump and link: `rd ← pc + 4`, `pc ← pc + 4 + 4·offset`.
+    Jal(Reg, i16),
+    /// Stop the program.
+    Halt,
+}
+
+/// Failed to decode an instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError(
+    /// The undecodable word.
+    pub u32,
+);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.0)
+    }
+}
+
+impl Error for DecodeError {}
+
+// Encoding: [ imm12/shamt : 12 | rb : 4 | ra : 4 | rd : 4 | opcode : 8 ]
+// Lui: [ imm16 : 16 | -- : 4 | rd : 4 | opcode : 8 ]
+// (The opcode occupies bits 0..8; no shift constant is needed.)
+const RD_SHIFT: u32 = 8;
+const RA_SHIFT: u32 = 12;
+const RB_SHIFT: u32 = 16;
+const IMM_SHIFT: u32 = 20;
+
+fn enc_imm12(v: i16) -> u32 {
+    debug_assert!((-2048..=2047).contains(&v), "imm12 overflow: {v}");
+    (v as u32 & 0xfff) << IMM_SHIFT
+}
+
+fn dec_imm12(w: u32) -> i16 {
+    let raw = (w >> IMM_SHIFT) & 0xfff;
+    // Sign-extend from 12 bits.
+    ((raw << 4) as i16) >> 4
+}
+
+macro_rules! opcodes {
+    ($($name:ident = $val:expr),* $(,)?) => {
+        $(const $name: u32 = $val;)*
+    };
+}
+
+opcodes! {
+    OP_ADD = 0x01, OP_SUB = 0x02, OP_AND = 0x03, OP_OR = 0x04, OP_XOR = 0x05,
+    OP_SLL = 0x06, OP_SRL = 0x07, OP_MUL = 0x08, OP_SLTU = 0x09,
+    OP_ADDI = 0x10, OP_ANDI = 0x11, OP_ORI = 0x12, OP_XORI = 0x13,
+    OP_SLLI = 0x14, OP_SRLI = 0x15, OP_LUI = 0x16,
+    OP_LW = 0x20, OP_LH = 0x21, OP_LB = 0x22,
+    OP_SW = 0x23, OP_SH = 0x24, OP_SB = 0x25,
+    OP_BEQ = 0x30, OP_BNE = 0x31, OP_BLTU = 0x32, OP_BGEU = 0x33,
+    OP_JAL = 0x34,
+    OP_HALT = 0xff,
+}
+
+impl Instr {
+    /// Encodes the instruction into a 32-bit word.
+    pub fn encode(self) -> u32 {
+        use Instr::*;
+        let r3 = |op: u32, d: Reg, a: Reg, b: Reg| {
+            op | ((d.index() as u32) << RD_SHIFT)
+                | ((a.index() as u32) << RA_SHIFT)
+                | ((b.index() as u32) << RB_SHIFT)
+        };
+        let ri = |op: u32, d: Reg, a: Reg, imm: i16| {
+            op | ((d.index() as u32) << RD_SHIFT)
+                | ((a.index() as u32) << RA_SHIFT)
+                | enc_imm12(imm)
+        };
+        match self {
+            Add(d, a, b) => r3(OP_ADD, d, a, b),
+            Sub(d, a, b) => r3(OP_SUB, d, a, b),
+            And(d, a, b) => r3(OP_AND, d, a, b),
+            Or(d, a, b) => r3(OP_OR, d, a, b),
+            Xor(d, a, b) => r3(OP_XOR, d, a, b),
+            Sll(d, a, b) => r3(OP_SLL, d, a, b),
+            Srl(d, a, b) => r3(OP_SRL, d, a, b),
+            Mul(d, a, b) => r3(OP_MUL, d, a, b),
+            SltU(d, a, b) => r3(OP_SLTU, d, a, b),
+            Addi(d, a, i) => ri(OP_ADDI, d, a, i),
+            Andi(d, a, i) => ri(OP_ANDI, d, a, i),
+            Ori(d, a, i) => ri(OP_ORI, d, a, i),
+            Xori(d, a, i) => ri(OP_XORI, d, a, i),
+            Slli(d, a, s) => ri(OP_SLLI, d, a, i16::from(s)),
+            Srli(d, a, s) => ri(OP_SRLI, d, a, i16::from(s)),
+            Lui(d, imm) => OP_LUI | ((d.index() as u32) << RD_SHIFT) | (u32::from(imm) << 16),
+            Lw(d, a, i) => ri(OP_LW, d, a, i),
+            Lh(d, a, i) => ri(OP_LH, d, a, i),
+            Lb(d, a, i) => ri(OP_LB, d, a, i),
+            Sw(s, a, i) => ri(OP_SW, s, a, i),
+            Sh(s, a, i) => ri(OP_SH, s, a, i),
+            Sb(s, a, i) => ri(OP_SB, s, a, i),
+            Beq(x, y, i) => ri(OP_BEQ, x, y, i),
+            Bne(x, y, i) => ri(OP_BNE, x, y, i),
+            Bltu(x, y, i) => ri(OP_BLTU, x, y, i),
+            Bgeu(x, y, i) => ri(OP_BGEU, x, y, i),
+            Jal(d, i) => ri(OP_JAL, d, Reg::R0, i),
+            Halt => OP_HALT,
+        }
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the opcode byte is unknown.
+    pub fn decode(w: u32) -> Result<Instr, DecodeError> {
+        use Instr::*;
+        let d = Reg::from_index(w >> RD_SHIFT);
+        let a = Reg::from_index(w >> RA_SHIFT);
+        let b = Reg::from_index(w >> RB_SHIFT);
+        let imm = dec_imm12(w);
+        Ok(match w & 0xff {
+            OP_ADD => Add(d, a, b),
+            OP_SUB => Sub(d, a, b),
+            OP_AND => And(d, a, b),
+            OP_OR => Or(d, a, b),
+            OP_XOR => Xor(d, a, b),
+            OP_SLL => Sll(d, a, b),
+            OP_SRL => Srl(d, a, b),
+            OP_MUL => Mul(d, a, b),
+            OP_SLTU => SltU(d, a, b),
+            OP_ADDI => Addi(d, a, imm),
+            OP_ANDI => Andi(d, a, imm),
+            OP_ORI => Ori(d, a, imm),
+            OP_XORI => Xori(d, a, imm),
+            OP_SLLI => Slli(d, a, (imm & 31) as u8),
+            OP_SRLI => Srli(d, a, (imm & 31) as u8),
+            OP_LUI => Lui(d, (w >> 16) as u16),
+            OP_LW => Lw(d, a, imm),
+            OP_LH => Lh(d, a, imm),
+            OP_LB => Lb(d, a, imm),
+            OP_SW => Sw(d, a, imm),
+            OP_SH => Sh(d, a, imm),
+            OP_SB => Sb(d, a, imm),
+            OP_BEQ => Beq(d, a, imm),
+            OP_BNE => Bne(d, a, imm),
+            OP_BLTU => Bltu(d, a, imm),
+            OP_BGEU => Bgeu(d, a, imm),
+            OP_JAL => Jal(d, imm),
+            OP_HALT => Halt,
+            _ => return Err(DecodeError(w)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn register_indices_round_trip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i as u32), *r);
+        }
+        assert_eq!(Reg::R7.to_string(), "r7");
+    }
+
+    #[test]
+    fn imm12_sign_extension() {
+        for v in [-2048i16, -1, 0, 1, 2047] {
+            assert_eq!(dec_imm12(enc_imm12(v)), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn every_instruction_round_trips() {
+        use Instr::*;
+        let samples = [
+            Add(Reg::R1, Reg::R2, Reg::R3),
+            Sub(Reg::R15, Reg::R0, Reg::R8),
+            Mul(Reg::R4, Reg::R4, Reg::R4),
+            SltU(Reg::R2, Reg::R3, Reg::R4),
+            Addi(Reg::R5, Reg::R6, -100),
+            Andi(Reg::R1, Reg::R1, 0xff),
+            Slli(Reg::R2, Reg::R2, 31),
+            Srli(Reg::R2, Reg::R2, 1),
+            Lui(Reg::R9, 0xdead),
+            Lw(Reg::R1, Reg::R2, 64),
+            Lb(Reg::R1, Reg::R2, -1),
+            Sw(Reg::R3, Reg::R4, 2047),
+            Sb(Reg::R3, Reg::R4, -2048),
+            Beq(Reg::R1, Reg::R2, -4),
+            Bne(Reg::R1, Reg::R0, 100),
+            Bltu(Reg::R5, Reg::R6, 7),
+            Bgeu(Reg::R5, Reg::R6, -7),
+            Jal(Reg::R14, 12),
+            Halt,
+        ];
+        for i in samples {
+            assert_eq!(Instr::decode(i.encode()), Ok(i), "{i:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        assert_eq!(Instr::decode(0xf0), Err(DecodeError(0xf0)));
+    }
+
+    proptest! {
+        #[test]
+        fn decode_never_panics(w: u32) {
+            let _ = Instr::decode(w);
+        }
+
+        #[test]
+        fn alu_encodings_round_trip(d in 0u32..16, a in 0u32..16, b in 0u32..16) {
+            let i = Instr::Add(Reg::from_index(d), Reg::from_index(a), Reg::from_index(b));
+            prop_assert_eq!(Instr::decode(i.encode()), Ok(i));
+        }
+    }
+}

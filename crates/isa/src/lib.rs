@@ -1,0 +1,55 @@
+//! Instruction-level frontend for the WL-Cache reproduction.
+//!
+//! The paper evaluates compiled ARM binaries on gem5, where instruction
+//! fetches and data accesses both traverse the memory hierarchy. The
+//! main `ehsim-workloads` suite substitutes native kernels (DESIGN.md
+//! §4); this crate closes the remaining gap for users who want
+//! *instruction-granular* simulation: a small RISC ISA ([`Instr`]), an
+//! [`Assembler`] with label fixups, a [`Cpu`] interpreter whose fetches
+//! and memory operations all flow through [`ehsim_mem::Bus`], and
+//! [`IsaWorkload`] to run an assembled [`Program`] as a standard
+//! workload on the `ehsim` machine.
+//!
+//! The encoding is a compact custom format (not RISC-V compatible):
+//! one 32-bit word per instruction, opcode in the low byte. Instruction
+//! fetches go through the same cache as data (a unified L1, as in small
+//! microcontrollers), so code locality matters exactly as data locality
+//! does — hot loops hit, cold code misses.
+//!
+//! # Examples
+//!
+//! ```
+//! use ehsim_isa::{Assembler, IsaWorkload, Reg::*};
+//! use ehsim_mem::{FunctionalMem, Workload};
+//!
+//! // sum = 1 + 2 + ... + 10; R10:R11 is the result convention.
+//! let mut asm = Assembler::new();
+//! let top = asm.new_label();
+//! asm.addi(R11, R0, 0);
+//! asm.addi(R2, R0, 10);
+//! asm.bind(top);
+//! asm.add(R11, R11, R2);
+//! asm.addi(R2, R2, -1);
+//! asm.bne(R2, R0, top);
+//! asm.halt();
+//! let program = asm.assemble()?;
+//!
+//! let w = IsaWorkload::new("triangle", program, 4096);
+//! let mut mem = FunctionalMem::new(w.mem_bytes());
+//! assert_eq!(w.run(&mut mem), 55);
+//! # Ok::<(), ehsim_isa::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod cpu;
+mod isa;
+pub mod programs;
+mod workload;
+
+pub use asm::{AsmError, Assembler, Label, Program};
+pub use cpu::{Cpu, StepOutcome};
+pub use isa::{DecodeError, Instr, Reg};
+pub use workload::IsaWorkload;

@@ -1,0 +1,310 @@
+//! Demo programs written in the crate's assembly language.
+//!
+//! Each builder returns an [`IsaWorkload`] whose checksum (R10:R11 at
+//! halt) is verified in tests against a Rust reference implementation —
+//! so the assembler, the CPU and the memory hierarchy are all checked
+//! end to end.
+
+use crate::Reg::*;
+use crate::{Assembler, IsaWorkload};
+
+/// Bitwise (table-less) CRC-32 over a `len`-byte buffer the program
+/// first fills with the pattern `(i * 31 + 7) & 0xff`.
+///
+/// Result: R10 = 0, R11 = final CRC.
+///
+/// # Panics
+///
+/// Panics if `len == 0`.
+pub fn crc32(len: u32) -> IsaWorkload {
+    assert!(len > 0);
+    let buf = 0x4000u32;
+    let mut asm = Assembler::new();
+
+    // ---- fill: for i in 0..len { buf[i] = (i*31 + 7) & 0xff } ----
+    asm.li(R1, buf);
+    asm.li(R2, len);
+    asm.addi(R3, R0, 0); // i
+    asm.addi(R4, R0, 31);
+    let fill = asm.new_label();
+    asm.bind(fill);
+    asm.mul(R5, R3, R4);
+    asm.addi(R5, R5, 7);
+    asm.andi(R5, R5, 0xff);
+    asm.add(R6, R1, R3);
+    asm.sb(R5, R6, 0);
+    asm.addi(R3, R3, 1);
+    asm.bltu(R3, R2, fill);
+
+    // ---- crc: reflected poly 0xEDB88320 ----
+    asm.li(R7, 0xEDB8_8320);
+    asm.li(R3, 0); // i
+    asm.li(R8, 0xFFFF_FFFF); // crc
+    asm.addi(R9, R0, 1); // constant 1
+    let byte_loop = asm.new_label();
+    let bit_loop = asm.new_label();
+    let no_xor = asm.new_label();
+    let next_byte = asm.new_label();
+    asm.bind(byte_loop);
+    asm.add(R6, R1, R3);
+    asm.lb(R5, R6, 0);
+    asm.xor(R8, R8, R5);
+    asm.addi(R4, R0, 8); // k
+    asm.bind(bit_loop);
+    asm.andi(R5, R8, 1);
+    asm.srli(R8, R8, 1);
+    asm.beq(R5, R0, no_xor);
+    asm.xor(R8, R8, R7);
+    asm.bind(no_xor);
+    asm.addi(R4, R4, -1);
+    asm.bne(R4, R0, bit_loop);
+    asm.addi(R3, R3, 1);
+    asm.bltu(R3, R2, byte_loop);
+    asm.bind(next_byte); // (label kept for readability)
+    // R11 = !crc
+    asm.li(R5, 0xFFFF_FFFF);
+    asm.xor(R11, R8, R5);
+    asm.halt();
+
+    IsaWorkload::new(
+        format!("isa-crc32-{len}"),
+        asm.assemble().expect("crc32 assembles"),
+        buf + len + 64,
+    )
+}
+
+/// The Rust reference for [`crc32`] (used in tests and doctests).
+pub fn crc32_reference(len: u32) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for i in 0..len {
+        let b = (i.wrapping_mul(31) + 7) & 0xff;
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Insertion sort over `n` 32-bit LCG-generated words, returning
+/// `xor-of-all ^ rotations` plus boundary samples so ordering matters.
+///
+/// Result: R10 = a\[0\] (minimum), R11 = xor of `a[i] + i` over the
+/// sorted array.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn insertion_sort(n: u32) -> IsaWorkload {
+    assert!(n >= 2);
+    let buf = 0x4000u32;
+    let mut asm = Assembler::new();
+
+    // ---- generate: x = x*1664525 + 1013904223 ----
+    asm.li(R1, buf);
+    asm.li(R2, n);
+    asm.li(R3, 0x1234_5678); // x
+    asm.li(R4, 1_664_525);
+    asm.li(R5, 1_013_904_223);
+    asm.addi(R6, R0, 0); // i
+    let gen = asm.new_label();
+    asm.bind(gen);
+    asm.mul(R3, R3, R4);
+    asm.add(R3, R3, R5);
+    asm.slli(R7, R6, 2);
+    asm.add(R7, R7, R1);
+    asm.sw(R3, R7, 0);
+    asm.addi(R6, R6, 1);
+    asm.bltu(R6, R2, gen);
+
+    // ---- insertion sort ----
+    // for i in 1..n: key=a[i]; j=i;
+    //   while j>0 && a[j-1] > key { a[j]=a[j-1]; j-=1 } ; a[j]=key
+    asm.addi(R6, R0, 1); // i
+    let outer = asm.new_label();
+    let inner = asm.new_label();
+    let place = asm.new_label();
+    let outer_next = asm.new_label();
+    asm.bind(outer);
+    asm.slli(R7, R6, 2);
+    asm.add(R7, R7, R1); // &a[i]
+    asm.lw(R8, R7, 0); // key
+    asm.add(R9, R0, R6); // j
+    asm.bind(inner);
+    asm.beq(R9, R0, place);
+    asm.slli(R7, R9, 2);
+    asm.add(R7, R7, R1); // &a[j]
+    asm.lw(R12, R7, -4); // a[j-1]
+    asm.bgeu(R8, R12, place); // key >= a[j-1] → place
+    asm.sw(R12, R7, 0); // a[j] = a[j-1]
+    asm.addi(R9, R9, -1);
+    asm.jmp(inner);
+    asm.bind(place);
+    asm.slli(R7, R9, 2);
+    asm.add(R7, R7, R1);
+    asm.sw(R8, R7, 0); // a[j] = key
+    asm.addi(R6, R6, 1);
+    asm.bltu(R6, R2, outer);
+    asm.bind(outer_next);
+
+    // ---- checksum: R11 = xor(a[i] + i); R10 = a[0] ----
+    asm.lw(R10, R1, 0);
+    asm.addi(R11, R0, 0);
+    asm.addi(R6, R0, 0);
+    let fold = asm.new_label();
+    asm.bind(fold);
+    asm.slli(R7, R6, 2);
+    asm.add(R7, R7, R1);
+    asm.lw(R8, R7, 0);
+    asm.add(R8, R8, R6);
+    asm.xor(R11, R11, R8);
+    asm.addi(R6, R6, 1);
+    asm.bltu(R6, R2, fold);
+    asm.halt();
+
+    IsaWorkload::new(
+        format!("isa-sort-{n}"),
+        asm.assemble().expect("sort assembles"),
+        buf + 4 * n + 64,
+    )
+}
+
+/// The Rust reference for [`insertion_sort`]: `(min, xor-fold)`.
+pub fn insertion_sort_reference(n: u32) -> (u32, u32) {
+    let mut x = 0x1234_5678u32;
+    let mut a: Vec<u32> = (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            x
+        })
+        .collect();
+    a.sort_unstable();
+    let fold = a
+        .iter()
+        .enumerate()
+        .fold(0u32, |acc, (i, v)| acc ^ v.wrapping_add(i as u32));
+    (a[0], fold)
+}
+
+/// Fixed-point dot product of two `n`-element vectors (strided
+/// generation, sequential consumption).
+///
+/// Result: R10:R11 = 64-bit accumulated sum (upper:lower), built from
+/// 32-bit multiplies with manual carry.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn dot_product(n: u32) -> IsaWorkload {
+    assert!(n > 0);
+    let a_base = 0x4000u32;
+    let b_base = a_base + 4 * n;
+    let mut asm = Assembler::new();
+
+    asm.li(R1, a_base);
+    asm.li(R2, b_base);
+    asm.li(R3, n);
+    asm.addi(R4, R0, 0); // i
+    let gen = asm.new_label();
+    asm.bind(gen);
+    asm.addi(R5, R4, 3);
+    asm.mul(R5, R5, R5);
+    asm.andi(R5, R5, 0x7ff);
+    asm.slli(R6, R4, 2);
+    asm.add(R7, R6, R1);
+    asm.sw(R5, R7, 0);
+    asm.addi(R5, R5, 17);
+    asm.add(R7, R6, R2);
+    asm.sw(R5, R7, 0);
+    asm.addi(R4, R4, 1);
+    asm.bltu(R4, R3, gen);
+
+    // sum64 += a[i]*b[i]  (products fit in 22 bits, so no mul carry)
+    asm.addi(R10, R0, 0); // high
+    asm.addi(R11, R0, 0); // low
+    asm.addi(R4, R0, 0);
+    let acc = asm.new_label();
+    let no_carry = asm.new_label();
+    asm.bind(acc);
+    asm.slli(R6, R4, 2);
+    asm.add(R7, R6, R1);
+    asm.lw(R8, R7, 0);
+    asm.add(R7, R6, R2);
+    asm.lw(R9, R7, 0);
+    asm.mul(R8, R8, R9);
+    asm.add(R11, R11, R8);
+    // carry if new low < addend
+    asm.bgeu(R11, R8, no_carry);
+    asm.addi(R10, R10, 1);
+    asm.bind(no_carry);
+    asm.addi(R4, R4, 1);
+    asm.bltu(R4, R3, acc);
+    asm.halt();
+
+    IsaWorkload::new(
+        format!("isa-dot-{n}"),
+        asm.assemble().expect("dot assembles"),
+        b_base + 4 * n + 64,
+    )
+}
+
+/// The Rust reference for [`dot_product`].
+pub fn dot_product_reference(n: u32) -> u64 {
+    let mut sum = 0u64;
+    for i in 0..n {
+        let a = u64::from((i + 3).wrapping_mul(i + 3) & 0x7ff);
+        let b = (a + 17) & 0xffff_ffff;
+        sum = sum.wrapping_add(a * b);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehsim_mem::{FunctionalMem, Workload};
+
+    fn run(w: &IsaWorkload) -> u64 {
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        w.run(&mut mem)
+    }
+
+    #[test]
+    fn crc32_matches_reference() {
+        for len in [1u32, 7, 64, 500] {
+            let got = run(&crc32(len));
+            assert_eq!(got as u32, crc32_reference(len), "len {len}");
+            assert_eq!(got >> 32, 0);
+        }
+    }
+
+    #[test]
+    fn crc32_reference_sanity() {
+        // Independent check of the reference against a textbook
+        // implementation for a known input ("123456789" is not our
+        // pattern, so check self-consistency instead: changing length
+        // changes the CRC).
+        assert_ne!(crc32_reference(10), crc32_reference(11));
+    }
+
+    #[test]
+    fn sort_matches_reference() {
+        for n in [2u32, 10, 64, 200] {
+            let got = run(&insertion_sort(n));
+            let (min, fold) = insertion_sort_reference(n);
+            assert_eq!((got >> 32) as u32, min, "n {n}: min");
+            assert_eq!(got as u32, fold, "n {n}: fold");
+        }
+    }
+
+    #[test]
+    fn dot_matches_reference() {
+        for n in [1u32, 33, 256] {
+            assert_eq!(run(&dot_product(n)), dot_product_reference(n), "n {n}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Running assembled programs as standard workloads.
+
+use crate::{Cpu, Program, StepOutcome};
+use ehsim_mem::{Bus, Workload};
+
+/// Safety cap on retired instructions, so a buggy program cannot hang
+/// the simulator.
+const MAX_RETIRED: u64 = 200_000_000;
+
+/// An assembled [`Program`] packaged as an [`ehsim_mem::Workload`].
+///
+/// The program image is loaded at address 0 (through the bus, so the
+/// loader traffic is simulated too, like a boot-time copy); the CPU
+/// then runs until `halt`. The workload checksum is
+/// `(r10 << 32) | r11` at halt — programs place their results there by
+/// convention.
+#[derive(Debug, Clone)]
+pub struct IsaWorkload {
+    name: String,
+    program: Program,
+    mem_bytes: u32,
+}
+
+impl IsaWorkload {
+    /// Packages `program` under `name` with `mem_bytes` of address
+    /// space (code at 0; data wherever the program puts it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program image does not fit in `mem_bytes`.
+    pub fn new(name: impl Into<String>, program: Program, mem_bytes: u32) -> Self {
+        assert!(
+            program.byte_len() <= mem_bytes,
+            "program image larger than the address space"
+        );
+        Self {
+            name: name.into(),
+            program,
+            mem_bytes,
+        }
+    }
+
+    /// The assembled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+impl Workload for IsaWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn mem_bytes(&self) -> u32 {
+        self.mem_bytes
+    }
+
+    fn run(&self, bus: &mut dyn Bus) -> u64 {
+        // Boot loader: copy the image into memory.
+        for (i, w) in self.program.words().iter().enumerate() {
+            bus.store_u32(4 * i as u32, *w);
+        }
+        let mut cpu = Cpu::new(0);
+        while cpu.step(bus) == StepOutcome::Continue {
+            assert!(
+                cpu.retired() < MAX_RETIRED,
+                "{}: exceeded {MAX_RETIRED} instructions without halting",
+                self.name
+            );
+        }
+        (u64::from(cpu.reg(crate::Reg::R10)) << 32) | u64::from(cpu.reg(crate::Reg::R11))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assembler;
+    use crate::Reg::*;
+    use ehsim_mem::FunctionalMem;
+
+    #[test]
+    fn result_convention_is_r10_r11() {
+        let mut asm = Assembler::new();
+        asm.li(R10, 0xaabb);
+        asm.li(R11, 0xccdd);
+        asm.halt();
+        let w = IsaWorkload::new("conv", asm.assemble().unwrap(), 1024);
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        assert_eq!(w.run(&mut mem), 0x0000_aabb_0000_ccdd);
+        assert_eq!(w.name(), "conv");
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than the address space")]
+    fn oversized_image_rejected() {
+        let mut asm = Assembler::new();
+        for _ in 0..100 {
+            asm.addi(R1, R1, 1);
+        }
+        asm.halt();
+        let _ = IsaWorkload::new("big", asm.assemble().unwrap(), 64);
+    }
+}

@@ -1,0 +1,190 @@
+//! Byte-accurate flat memory.
+
+use crate::{AccessSize, Bus};
+
+/// A flat, byte-accurate memory array.
+///
+/// `FunctionalMem` serves three roles in the reproduction:
+///
+/// 1. the persistent NVM backing store of the simulated machine,
+/// 2. the reference oracle in crash-consistency tests, and
+/// 3. a trivial [`Bus`] so workloads can be executed "functionally" to
+///   obtain golden checksums without any timing or energy model.
+///
+/// All multi-byte accesses are little-endian. Memory is zero-initialised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalMem {
+    bytes: Vec<u8>,
+}
+
+impl FunctionalMem {
+    /// Creates a zero-filled memory of `size` bytes.
+    pub fn new(size: u32) -> Self {
+        Self {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Size of the memory in bytes.
+    pub fn len(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Returns `true` if the memory has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Reads `size.bytes()` bytes at `addr`, little-endian, zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access runs past the end of memory.
+    pub fn read(&self, addr: u32, size: AccessSize) -> u64 {
+        let a = addr as usize;
+        let n = size.bytes() as usize;
+        let mut v: u64 = 0;
+        for (i, b) in self.bytes[a..a + n].iter().enumerate() {
+            v |= u64::from(*b) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size.bytes()` bytes of `value` at `addr`,
+    /// little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access runs past the end of memory.
+    pub fn write(&mut self, addr: u32, size: AccessSize, value: u64) {
+        let a = addr as usize;
+        let n = size.bytes() as usize;
+        for i in 0..n {
+            self.bytes[a + i] = (value >> (8 * i)) as u8;
+        }
+    }
+
+    /// Copies a whole line of `line.len()` bytes out of memory at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line runs past the end of memory.
+    pub fn read_line(&self, base: u32, line: &mut [u8]) {
+        let a = base as usize;
+        line.copy_from_slice(&self.bytes[a..a + line.len()]);
+    }
+
+    /// Writes a whole line into memory at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line runs past the end of memory.
+    pub fn write_line(&mut self, base: u32, line: &[u8]) {
+        let a = base as usize;
+        self.bytes[a..a + line.len()].copy_from_slice(line);
+    }
+
+    /// Borrows the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl Bus for FunctionalMem {
+    fn load(&mut self, addr: u32, size: AccessSize) -> u64 {
+        self.read(addr, size)
+    }
+
+    fn store(&mut self, addr: u32, size: AccessSize, value: u64) {
+        self.write(addr, size, value);
+    }
+
+    fn compute(&mut self, _cycles: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_initialised() {
+        let mem = FunctionalMem::new(16);
+        assert_eq!(mem.read(0, AccessSize::B8), 0);
+        assert_eq!(mem.len(), 16);
+        assert!(!mem.is_empty());
+        assert!(FunctionalMem::new(0).is_empty());
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut mem = FunctionalMem::new(8);
+        mem.write(0, AccessSize::B4, 0x0403_0201);
+        assert_eq!(mem.as_bytes()[..4], [1, 2, 3, 4]);
+        assert_eq!(mem.read(1, AccessSize::B2), 0x0302);
+    }
+
+    #[test]
+    fn partial_writes_do_not_clobber_neighbours() {
+        let mut mem = FunctionalMem::new(8);
+        mem.write(0, AccessSize::B8, u64::MAX);
+        mem.write(2, AccessSize::B2, 0);
+        assert_eq!(mem.read(0, AccessSize::B8), 0xffff_ffff_0000_ffff);
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let mut mem = FunctionalMem::new(128);
+        let line: Vec<u8> = (0..64).collect();
+        mem.write_line(64, &line);
+        let mut out = vec![0u8; 64];
+        mem.read_line(64, &mut out);
+        assert_eq!(out, line);
+        // First line untouched.
+        mem.read_line(0, &mut out);
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let mem = FunctionalMem::new(4);
+        let _ = mem.read(2, AccessSize::B4);
+    }
+
+    proptest! {
+        #[test]
+        fn write_then_read_round_trips(
+            addr in 0u32..1000,
+            value: u64,
+            size_ix in 0usize..4,
+        ) {
+            let sizes = [AccessSize::B1, AccessSize::B2, AccessSize::B4, AccessSize::B8];
+            let size = sizes[size_ix];
+            let mut mem = FunctionalMem::new(1024);
+            mem.write(addr, size, value);
+            let mask = if size.bytes() == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (8 * size.bytes())) - 1
+            };
+            prop_assert_eq!(mem.read(addr, size), value & mask);
+        }
+
+        #[test]
+        fn disjoint_writes_commute(
+            a in 0u32..100,
+            b in 200u32..300,
+            va: u32,
+            vb: u32,
+        ) {
+            let mut m1 = FunctionalMem::new(512);
+            m1.write(a, AccessSize::B4, va.into());
+            m1.write(b, AccessSize::B4, vb.into());
+            let mut m2 = FunctionalMem::new(512);
+            m2.write(b, AccessSize::B4, vb.into());
+            m2.write(a, AccessSize::B4, va.into());
+            prop_assert_eq!(m1, m2);
+        }
+    }
+}

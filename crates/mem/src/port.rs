@@ -1,0 +1,102 @@
+//! Single NVM memory port with busy-time tracking.
+
+use crate::Ps;
+
+/// A single-ported NVM interface.
+///
+/// Energy-harvesting microcontrollers have one path to main memory.
+/// Asynchronous write-backs issued by WL-Cache (or ReplayCache's region
+/// persists) occupy the port but do **not** stall the core; a later demand
+/// access (miss fill, synchronous store, checkpoint flush) must wait until
+/// the port frees up. This is how the simulator models both the ILP
+/// benefit of asynchronous write-back and its contention cost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NvmPort {
+    busy_until: Ps,
+}
+
+impl NvmPort {
+    /// Creates an idle port.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an operation at time `now` taking `service` ps, after
+    /// which the port needs `recovery` ps before the next operation.
+    ///
+    /// Returns `(start, done)`: the operation begins at
+    /// `start = max(now, busy_until)` and its result (data or ACK) is
+    /// available at `done = start + service`. The port stays busy until
+    /// `done + recovery`.
+    pub fn schedule(&mut self, now: Ps, service: Ps, recovery: Ps) -> (Ps, Ps) {
+        let start = now.max(self.busy_until);
+        let done = start + service;
+        self.busy_until = done + recovery;
+        (start, done)
+    }
+
+    /// First instant at which a new operation could start.
+    pub fn busy_until(&self) -> Ps {
+        self.busy_until
+    }
+
+    /// Whether the port is idle at `now`.
+    pub fn is_idle_at(&self, now: Ps) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Clears all in-flight state (used at power-off: volatile queues are
+    /// lost; whatever was committed stays committed).
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_port_starts_immediately() {
+        let mut p = NvmPort::new();
+        let (start, done) = p.schedule(1_000, 500, 100);
+        assert_eq!(start, 1_000);
+        assert_eq!(done, 1_500);
+        assert_eq!(p.busy_until(), 1_600);
+    }
+
+    #[test]
+    fn busy_port_delays_start() {
+        let mut p = NvmPort::new();
+        p.schedule(0, 1_000, 0);
+        let (start, done) = p.schedule(400, 200, 0);
+        assert_eq!(start, 1_000);
+        assert_eq!(done, 1_200);
+    }
+
+    #[test]
+    fn recovery_blocks_next_op_but_not_completion() {
+        let mut p = NvmPort::new();
+        let (_, done) = p.schedule(0, 100, 1_000);
+        assert_eq!(done, 100);
+        let (start, _) = p.schedule(done, 100, 0);
+        assert_eq!(start, 1_100);
+    }
+
+    #[test]
+    fn is_idle_at_tracks_busy_until() {
+        let mut p = NvmPort::new();
+        assert!(p.is_idle_at(0));
+        p.schedule(0, 100, 50);
+        assert!(!p.is_idle_at(149));
+        assert!(p.is_idle_at(150));
+    }
+
+    #[test]
+    fn reset_clears_busy() {
+        let mut p = NvmPort::new();
+        p.schedule(0, 10_000, 0);
+        p.reset();
+        assert!(p.is_idle_at(0));
+    }
+}

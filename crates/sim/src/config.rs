@@ -1,0 +1,326 @@
+//! Simulation configuration.
+
+use crate::params::CpuParams;
+use ehsim_cache::{CacheGeometry, ReplacementPolicy};
+use ehsim_energy::{ChargingModel, PowerTrace, TraceKind};
+use ehsim_mem::{NvmEnergy, NvmTiming};
+use wl_cache::{AdaptationMode, DqPolicy, Thresholds};
+
+/// Which cache design the machine is built around.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignKind {
+    /// Volatile write-through SRAM cache.
+    VCacheWt,
+    /// Fully non-volatile write-back cache.
+    NvCacheWb,
+    /// NVSRAM(ideal): volatile write-back SRAM + NV checkpoint copy.
+    NvSram,
+    /// ReplayCache with the given region length in instructions.
+    Replay {
+        /// Instructions per persistence region.
+        region_instrs: u64,
+    },
+    /// The §3.3 write-buffer alternative (for ablation studies).
+    WBuf {
+        /// Write-buffer capacity in lines.
+        capacity: usize,
+    },
+    /// WL-Cache.
+    Wl {
+        /// DirtyQueue thresholds (capacity / maxline / waterline).
+        thresholds: Thresholds,
+        /// DirtyQueue replacement policy (§5.2).
+        dq_policy: DqPolicy,
+        /// Threshold adaptation mode (§4).
+        adaptation: AdaptationMode,
+    },
+}
+
+impl DesignKind {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignKind::VCacheWt => "VCache-WT",
+            DesignKind::NvCacheWb => "NVCache-WB",
+            DesignKind::NvSram => "NVSRAM(ideal)",
+            DesignKind::Replay { .. } => "ReplayCache",
+            DesignKind::WBuf { .. } => "WBuf-Cache",
+            DesignKind::Wl {
+                adaptation: AdaptationMode::Dynamic,
+                ..
+            } => "WL-Cache(dyn)",
+            DesignKind::Wl { .. } => "WL-Cache",
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+///
+/// Use the design-specific constructors ([`SimConfig::wl_cache`],
+/// [`SimConfig::nvsram`], …) and chain `with_*` modifiers:
+///
+/// ```
+/// use ehsim::SimConfig;
+/// use ehsim_energy::{ChargingModel, PowerTrace, TraceKind};
+/// use ehsim_cache::CacheGeometry;
+///
+/// let cfg = SimConfig::nvsram()
+///     .with_trace(TraceKind::Rf2)
+///     .with_geometry(CacheGeometry::new(512, 2, 64))
+///     .with_capacitor_uf(10.0);
+/// assert_eq!(cfg.design.label(), "NVSRAM(ideal)");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The cache design under test.
+    pub design: DesignKind,
+    /// Cache layout.
+    ///
+    /// Default: 1 kB, 2-way, 64 B lines. The kernels in
+    /// `ehsim-workloads` have footprints of a few kB–tens of kB (far
+    /// smaller than the paper's full applications), so the default cache
+    /// is scaled down proportionally from the paper's 8 kB to keep miss
+    /// ratios realistic; [`SimConfig::with_paper_geometry`] selects the
+    /// full Table 2 layout, and Fig 10(a) sweeps 128 B–4 kB.
+    pub geometry: CacheGeometry,
+    /// Cache replacement policy (§5.4; LRU is the paper default,
+    /// §6.5 sweeps FIFO).
+    pub cache_policy: ReplacementPolicy,
+    /// Harvesting environment.
+    pub trace: TraceKind,
+    /// A user-supplied trace (e.g. loaded with
+    /// [`ehsim_energy::load_trace`]); overrides [`SimConfig::trace`]
+    /// when present, and enables power failures.
+    pub custom_trace: Option<PowerTrace>,
+    /// Capacitor size in µF (Table 2 default: 1 µF).
+    pub capacitor_uf: f64,
+    /// Core parameters.
+    pub cpu: CpuParams,
+    /// NVM timing (Table 2).
+    pub nvm_timing: NvmTiming,
+    /// NVM energy.
+    pub nvm_energy: NvmEnergy,
+    /// Harvesting front-end charging model (voltage-dependent
+    /// efficiency).
+    pub charging: ChargingModel,
+    /// Maintain an oracle memory and verify crash consistency at every
+    /// checkpoint (slower; meant for tests).
+    pub verify: bool,
+    /// Abort if the run exceeds this many outages (runaway guard).
+    pub max_outages: u64,
+}
+
+impl SimConfig {
+    fn base(design: DesignKind) -> Self {
+        Self {
+            design,
+            geometry: CacheGeometry::new(1024, 2, 64),
+            cache_policy: ReplacementPolicy::Lru,
+            trace: TraceKind::None,
+            custom_trace: None,
+            capacitor_uf: 1.0,
+            cpu: CpuParams::default(),
+            nvm_timing: NvmTiming::default(),
+            nvm_energy: NvmEnergy::default(),
+            charging: ChargingModel::paper_default(),
+            verify: false,
+            max_outages: 1_000_000,
+        }
+    }
+
+    /// WL-Cache with the paper's defaults (DirtyQueue 8, maxline 6,
+    /// FIFO DirtyQueue replacement, adaptive management).
+    pub fn wl_cache() -> Self {
+        Self::base(DesignKind::Wl {
+            thresholds: Thresholds::paper_default(),
+            dq_policy: DqPolicy::Fifo,
+            adaptation: AdaptationMode::Adaptive,
+        })
+    }
+
+    /// WL-Cache with static thresholds at the given maxline
+    /// (waterline = maxline − 1), for the Fig 9/11/12 sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `maxline` is 0 or exceeds the default DirtyQueue
+    /// capacity of 8.
+    pub fn wl_cache_static(maxline: usize) -> Self {
+        Self::base(DesignKind::Wl {
+            thresholds: Thresholds::with_maxline(8, maxline)
+                .expect("maxline must be within the 8-entry DirtyQueue"),
+            dq_policy: DqPolicy::Fifo,
+            adaptation: AdaptationMode::Static,
+        })
+    }
+
+    /// WL-Cache (dyn): adaptive plus opportunistic dynamic raises
+    /// (Fig 13(a)).
+    pub fn wl_cache_dyn() -> Self {
+        Self::base(DesignKind::Wl {
+            thresholds: Thresholds::paper_default(),
+            dq_policy: DqPolicy::Fifo,
+            adaptation: AdaptationMode::Dynamic,
+        })
+    }
+
+    /// NVSRAM(ideal) — the paper's baseline for all speedup figures.
+    pub fn nvsram() -> Self {
+        Self::base(DesignKind::NvSram)
+    }
+
+    /// Volatile write-through cache.
+    pub fn vcache_wt() -> Self {
+        Self::base(DesignKind::VCacheWt)
+    }
+
+    /// Non-volatile write-back cache.
+    pub fn nvcache_wb() -> Self {
+        Self::base(DesignKind::NvCacheWb)
+    }
+
+    /// ReplayCache with the default 64-instruction regions.
+    pub fn replay() -> Self {
+        Self::base(DesignKind::Replay { region_instrs: 64 })
+    }
+
+    /// The §3.3 write-buffer alternative with a 6-line buffer (matching
+    /// WL-Cache's default maxline), for the ablation bench.
+    pub fn write_buffer() -> Self {
+        Self::base(DesignKind::WBuf { capacity: 6 })
+    }
+
+    /// The five designs of Figs 4–6, in the paper's legend order.
+    pub fn all_designs() -> Vec<SimConfig> {
+        vec![
+            Self::nvsram(),
+            Self::nvcache_wb(),
+            Self::vcache_wt(),
+            Self::replay(),
+            Self::wl_cache(),
+        ]
+    }
+
+    /// Sets the harvesting trace.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceKind) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Supplies a recorded/custom power trace (see
+    /// [`ehsim_energy::parse_trace`]); power failures are simulated
+    /// against it regardless of [`SimConfig::trace`].
+    #[must_use]
+    pub fn with_custom_trace(mut self, trace: PowerTrace) -> Self {
+        self.custom_trace = Some(trace);
+        self
+    }
+
+    /// Label of the effective trace, for reports.
+    pub fn trace_label(&self) -> &'static str {
+        if self.custom_trace.is_some() {
+            "custom"
+        } else {
+            self.trace.label()
+        }
+    }
+
+    /// Sets the cache geometry.
+    #[must_use]
+    pub fn with_geometry(mut self, geometry: CacheGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Selects the paper's full 8 kB, 2-way, 64 B geometry (Table 2).
+    #[must_use]
+    pub fn with_paper_geometry(mut self) -> Self {
+        self.geometry = CacheGeometry::paper_default();
+        self
+    }
+
+    /// Sets the cache replacement policy.
+    #[must_use]
+    pub fn with_cache_policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Sets the DirtyQueue replacement policy (WL-Cache only; no-op for
+    /// other designs).
+    #[must_use]
+    pub fn with_dq_policy(mut self, policy: DqPolicy) -> Self {
+        if let DesignKind::Wl { dq_policy, .. } = &mut self.design {
+            *dq_policy = policy;
+        }
+        self
+    }
+
+    /// Sets the capacitor size in µF.
+    #[must_use]
+    pub fn with_capacitor_uf(mut self, uf: f64) -> Self {
+        self.capacitor_uf = uf;
+        self
+    }
+
+    /// Enables crash-consistency verification against an oracle memory.
+    #[must_use]
+    pub fn with_verify(mut self) -> Self {
+        self.verify = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(SimConfig::wl_cache().design.label(), "WL-Cache");
+        assert_eq!(SimConfig::wl_cache_dyn().design.label(), "WL-Cache(dyn)");
+        assert_eq!(SimConfig::nvsram().design.label(), "NVSRAM(ideal)");
+        assert_eq!(SimConfig::replay().design.label(), "ReplayCache");
+    }
+
+    #[test]
+    fn default_trace_is_no_failure() {
+        assert_eq!(SimConfig::wl_cache().trace, TraceKind::None);
+    }
+
+    #[test]
+    fn with_modifiers_compose() {
+        let cfg = SimConfig::vcache_wt()
+            .with_trace(TraceKind::Rf1)
+            .with_capacitor_uf(0.344)
+            .with_paper_geometry()
+            .with_verify();
+        assert_eq!(cfg.trace, TraceKind::Rf1);
+        assert_eq!(cfg.capacitor_uf, 0.344);
+        assert_eq!(cfg.geometry.size_bytes(), 8 * 1024);
+        assert!(cfg.verify);
+    }
+
+    #[test]
+    fn wl_static_sets_thresholds() {
+        let cfg = SimConfig::wl_cache_static(4);
+        match cfg.design {
+            DesignKind::Wl {
+                thresholds,
+                adaptation,
+                ..
+            } => {
+                assert_eq!(thresholds.maxline(), 4);
+                assert_eq!(thresholds.waterline(), 3);
+                assert_eq!(adaptation, AdaptationMode::Static);
+            }
+            _ => panic!("expected WL design"),
+        }
+    }
+
+    #[test]
+    fn all_designs_has_five_entries() {
+        assert_eq!(SimConfig::all_designs().len(), 5);
+    }
+}

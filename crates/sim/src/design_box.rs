@@ -1,0 +1,160 @@
+//! Static-dispatch wrapper over the five cache designs.
+
+use crate::config::{DesignKind, SimConfig};
+use ehsim_cache::designs::{NvCacheWb, NvSramCache, ReplayCache, VCacheWt, WriteBufferCache};
+use ehsim_cache::{CacheDesign, MemCtx};
+use ehsim_energy::VoltageThresholds;
+use ehsim_mem::{AccessSize, FunctionalMem, NvmEnergy, Pj, Ps};
+use wl_cache::{WlCache, WlCacheBuilder};
+
+/// One of the five evaluated cache designs, dispatched statically.
+///
+/// An enum (rather than `Box<dyn CacheDesign>`) keeps the hot
+/// load/store path free of virtual calls and lets the report builder
+/// reach the concrete [`WlCache`] for its §6.6 statistics.
+#[derive(Debug, Clone)]
+pub enum DesignBox {
+    /// Volatile write-through cache.
+    VCacheWt(VCacheWt),
+    /// Non-volatile write-back cache.
+    NvCacheWb(NvCacheWb),
+    /// NVSRAM(ideal).
+    NvSram(NvSramCache),
+    /// ReplayCache.
+    Replay(ReplayCache),
+    /// WL-Cache.
+    Wl(WlCache),
+    /// The §3.3 write-buffer alternative.
+    WBuf(WriteBufferCache),
+}
+
+impl DesignBox {
+    /// Instantiates the design described by `cfg`.
+    pub fn from_config(cfg: &SimConfig) -> Self {
+        match &cfg.design {
+            DesignKind::VCacheWt => {
+                DesignBox::VCacheWt(VCacheWt::new(cfg.geometry, cfg.cache_policy))
+            }
+            DesignKind::NvCacheWb => {
+                DesignBox::NvCacheWb(NvCacheWb::new(cfg.geometry, cfg.cache_policy))
+            }
+            DesignKind::NvSram => {
+                DesignBox::NvSram(NvSramCache::new(cfg.geometry, cfg.cache_policy))
+            }
+            DesignKind::Replay { region_instrs } => DesignBox::Replay(ReplayCache::new(
+                cfg.geometry,
+                cfg.cache_policy,
+                *region_instrs,
+                cfg.cpu.compute_pj_per_cycle,
+            )),
+            DesignKind::WBuf { capacity } => DesignBox::WBuf(WriteBufferCache::new(
+                cfg.geometry,
+                cfg.cache_policy,
+                *capacity,
+            )),
+            DesignKind::Wl {
+                thresholds,
+                dq_policy,
+                adaptation,
+            } => {
+                let mut b = WlCacheBuilder::new();
+                b.geometry(cfg.geometry)
+                    .cache_policy(cfg.cache_policy)
+                    .thresholds(*thresholds)
+                    .dq_policy(*dq_policy)
+                    .adaptation(*adaptation);
+                DesignBox::Wl(b.build())
+            }
+        }
+    }
+
+    /// The concrete WL-Cache, if this is one.
+    pub fn as_wl(&self) -> Option<&WlCache> {
+        match self {
+            DesignBox::Wl(wl) => Some(wl),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $d:ident => $e:expr) => {
+        match $self {
+            DesignBox::VCacheWt($d) => $e,
+            DesignBox::NvCacheWb($d) => $e,
+            DesignBox::NvSram($d) => $e,
+            DesignBox::Replay($d) => $e,
+            DesignBox::Wl($d) => $e,
+            DesignBox::WBuf($d) => $e,
+        }
+    };
+}
+
+impl CacheDesign for DesignBox {
+    fn name(&self) -> &'static str {
+        delegate!(self, d => d.name())
+    }
+    fn thresholds(&self) -> VoltageThresholds {
+        delegate!(self, d => d.thresholds())
+    }
+    fn load(&mut self, ctx: &mut MemCtx<'_>, addr: u32, size: AccessSize) -> (Ps, u64) {
+        delegate!(self, d => d.load(ctx, addr, size))
+    }
+    fn store(&mut self, ctx: &mut MemCtx<'_>, addr: u32, size: AccessSize, value: u64) -> Ps {
+        delegate!(self, d => d.store(ctx, addr, size, value))
+    }
+    fn checkpoint(&mut self, ctx: &mut MemCtx<'_>) -> Ps {
+        delegate!(self, d => d.checkpoint(ctx))
+    }
+    fn power_off(&mut self) {
+        delegate!(self, d => d.power_off())
+    }
+    fn reboot(&mut self, ctx: &mut MemCtx<'_>, on_time_ps: Ps) -> Ps {
+        delegate!(self, d => d.reboot(ctx, on_time_ps))
+    }
+    fn on_instructions(&mut self, ctx: &mut MemCtx<'_>, total_instrs: u64) -> Ps {
+        delegate!(self, d => d.on_instructions(ctx, total_instrs))
+    }
+    fn dirty_lines(&self) -> usize {
+        delegate!(self, d => d.dirty_lines())
+    }
+    fn worst_checkpoint_pj(&self, energy: &NvmEnergy) -> Pj {
+        delegate!(self, d => d.worst_checkpoint_pj(energy))
+    }
+    fn persistent_overlay(&self, nvm: &FunctionalMem) -> FunctionalMem {
+        delegate!(self, d => d.persistent_overlay(nvm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+
+    #[test]
+    fn from_config_builds_matching_design() {
+        for cfg in SimConfig::all_designs() {
+            let d = DesignBox::from_config(&cfg);
+            assert_eq!(d.name(), cfg.design.label());
+        }
+    }
+
+    #[test]
+    fn as_wl_only_for_wl() {
+        assert!(DesignBox::from_config(&SimConfig::wl_cache())
+            .as_wl()
+            .is_some());
+        assert!(DesignBox::from_config(&SimConfig::nvsram())
+            .as_wl()
+            .is_none());
+    }
+
+    #[test]
+    fn dyn_label_differs() {
+        let d = DesignBox::from_config(&SimConfig::wl_cache_dyn());
+        // The design's own name is WL-Cache; the config label carries
+        // the (dyn) distinction for figures.
+        assert_eq!(d.name(), "WL-Cache");
+        assert_eq!(SimConfig::wl_cache_dyn().design.label(), "WL-Cache(dyn)");
+    }
+}

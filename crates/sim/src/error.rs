@@ -1,0 +1,97 @@
+//! Simulation errors.
+
+use ehsim_mem::Ps;
+use std::error::Error;
+use std::fmt;
+
+/// Why a simulation could not complete.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The harvesting source could not recharge the capacitor to `Von`
+    /// within the recharge budget — the system is effectively dead.
+    SourceDead {
+        /// Simulation time at which recharging was abandoned.
+        at_ps: Ps,
+    },
+    /// The run exceeded [`SimConfig::max_outages`](crate::SimConfig).
+    TooManyOutages {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A JIT checkpoint drained the capacitor below `Vmin`: the
+    /// design's energy reserve was insufficient (this is an invariant
+    /// violation — it must never happen for a correct configuration).
+    ReserveViolated {
+        /// Voltage after the checkpoint completed.
+        voltage: f64,
+        /// The design's `Vmin`.
+        v_min: f64,
+    },
+    /// Crash-consistency verification failed: after a checkpoint, the
+    /// persistent state did not reconstruct the oracle memory.
+    ConsistencyViolation {
+        /// First differing byte address.
+        addr: u32,
+        /// Expected (oracle) byte.
+        expected: u8,
+        /// Actual persistent byte.
+        actual: u8,
+        /// Outage index at which the divergence was detected.
+        outage: u64,
+    },
+    /// The workload panicked.
+    WorkloadPanic(
+        /// Panic payload rendered to a string.
+        String,
+    ),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SourceDead { at_ps } => {
+                write!(f, "energy source dead: could not recharge (t = {at_ps} ps)")
+            }
+            SimError::TooManyOutages { limit } => {
+                write!(f, "exceeded the configured outage limit of {limit}")
+            }
+            SimError::ReserveViolated { voltage, v_min } => write!(
+                f,
+                "checkpoint reserve violated: {voltage:.3} V fell below Vmin {v_min:.3} V"
+            ),
+            SimError::ConsistencyViolation {
+                addr,
+                expected,
+                actual,
+                outage,
+            } => write!(
+                f,
+                "crash-consistency violation at outage {outage}: byte 0x{addr:x} is {actual:#04x}, oracle has {expected:#04x}"
+            ),
+            SimError::WorkloadPanic(msg) => write!(f, "workload panicked: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::ReserveViolated {
+            voltage: 2.75,
+            v_min: 2.8,
+        };
+        assert!(e.to_string().contains("2.750"));
+        let e = SimError::ConsistencyViolation {
+            addr: 0x40,
+            expected: 1,
+            actual: 2,
+            outage: 7,
+        };
+        assert!(e.to_string().contains("outage 7"));
+    }
+}

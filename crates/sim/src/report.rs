@@ -1,0 +1,201 @@
+//! Simulation results.
+
+use crate::machine::Machine;
+use crate::SimConfig;
+use ehsim_cache::CacheStats;
+use ehsim_energy::EnergyMeter;
+use ehsim_mem::Ps;
+
+/// WL-Cache-specific results: the §6.6 statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WlReport {
+    /// Boot-time threshold reconfigurations (paper: ~11 on trace 1).
+    pub reconfigurations: u64,
+    /// Smallest maxline used (paper: 2).
+    pub maxline_min: usize,
+    /// Largest maxline used (paper: 6).
+    pub maxline_max: usize,
+    /// Energy-source direction-prediction accuracy (paper: > 98 %).
+    pub prediction_accuracy: Option<f64>,
+    /// Mean dirty lines JIT-checkpointed per power-on interval
+    /// (paper: ~6).
+    pub avg_dirty_at_checkpoint: f64,
+    /// Mean asynchronous write-backs per power-on interval
+    /// (paper: 2–3).
+    pub avg_cleanings_per_interval: f64,
+    /// Store stalls on a full DirtyQueue.
+    pub stalls: u64,
+    /// Total stall time.
+    pub stall_ps: Ps,
+    /// Stall time as a fraction of total execution time (paper: < 1 %).
+    pub stall_fraction: f64,
+    /// Opportunistic dynamic maxline raises (WL-Cache (dyn) only).
+    pub dyn_raises: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Workload name.
+    pub workload: String,
+    /// Design label (matches the paper's figure legends).
+    pub design: String,
+    /// Trace label.
+    pub trace: &'static str,
+    /// The workload's checksum (compare against a functional run to
+    /// validate correctness).
+    pub checksum: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// End-to-end execution time, including outages.
+    pub total_time_ps: Ps,
+    /// Time powered on (total − off).
+    pub on_time_ps: Ps,
+    /// Time powered off, waiting for recharge.
+    pub off_time_ps: Ps,
+    /// Time spent in JIT checkpoints (subset of on-time).
+    pub checkpoint_time_ps: Ps,
+    /// Time spent restoring at reboots (subset of on-time).
+    pub restore_time_ps: Ps,
+    /// Number of power outages.
+    pub outages: u64,
+    /// Energy consumption by category (Fig 13(b)).
+    pub energy: EnergyMeter,
+    /// Cache/NVM traffic statistics.
+    pub cache: CacheStats,
+    /// WL-Cache extras, when the design under test was WL-Cache.
+    pub wl: Option<WlReport>,
+}
+
+impl Report {
+    pub(crate) fn from_machine(
+        machine: &Machine,
+        cfg: &SimConfig,
+        workload: &str,
+        checksum: u64,
+    ) -> Self {
+        let total = machine.now();
+        let wl = machine.design().as_wl().map(|wl| {
+            let s = wl.wl_stats();
+            let ctl = wl.controller();
+            let intervals = s.intervals.max(1) as f64;
+            WlReport {
+                reconfigurations: ctl.reconfigurations(),
+                maxline_min: ctl.maxline_range().0,
+                maxline_max: ctl.maxline_range().1,
+                prediction_accuracy: ctl.prediction_accuracy(),
+                avg_dirty_at_checkpoint: s.dirty_at_checkpoint_sum as f64 / intervals,
+                avg_cleanings_per_interval: s.cleanings_per_interval_sum as f64 / intervals,
+                stalls: s.stalls,
+                stall_ps: s.stall_ps,
+                stall_fraction: if total > 0 {
+                    s.stall_ps as f64 / total as f64
+                } else {
+                    0.0
+                },
+                dyn_raises: s.dyn_raises,
+            }
+        });
+        Report {
+            workload: workload.to_string(),
+            design: cfg.design.label().to_string(),
+            trace: cfg.trace_label(),
+            checksum,
+            instructions: machine.instructions(),
+            total_time_ps: total,
+            on_time_ps: total - machine.off_time_ps(),
+            off_time_ps: machine.off_time_ps(),
+            checkpoint_time_ps: machine.checkpoint_time_ps(),
+            restore_time_ps: machine.restore_time_ps(),
+            outages: machine.outages(),
+            energy: *machine.meter(),
+            cache: *machine.stats(),
+            wl,
+        }
+    }
+
+    /// Speedup of `self` relative to `baseline` (> 1 means `self` is
+    /// faster) — the metric of Figs 4–6, 8–13.
+    pub fn speedup_vs(&self, baseline: &Report) -> f64 {
+        baseline.total_time_ps as f64 / self.total_time_ps as f64
+    }
+
+    /// Execution time in seconds (Fig 10(b)'s y-axis).
+    pub fn total_seconds(&self) -> f64 {
+        self.total_time_ps as f64 / 1e12
+    }
+
+    /// NVM main-memory write traffic in bytes (Fig 7's metric).
+    pub fn nvm_write_bytes(&self) -> u64 {
+        self.cache.nvm_write_bytes
+    }
+}
+
+/// Geometric mean of an iterator of positive values; `None` when empty.
+///
+/// The paper reports per-suite and total gmeans in every bar figure.
+pub fn gmean(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        debug_assert!(v > 0.0, "gmean needs positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    (n > 0).then(|| (log_sum / f64::from(n)).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use ehsim_mem::{Bus, Workload};
+
+    struct Mini;
+    impl Workload for Mini {
+        fn name(&self) -> &str {
+            "mini"
+        }
+        fn mem_bytes(&self) -> u32 {
+            256
+        }
+        fn run(&self, bus: &mut dyn Bus) -> u64 {
+            bus.store_u32(0, 7);
+            bus.compute(5);
+            u64::from(bus.load_u32(0))
+        }
+    }
+
+    #[test]
+    fn report_captures_run() {
+        let r = Simulator::new(SimConfig::wl_cache()).run(&Mini).unwrap();
+        assert_eq!(r.checksum, 7);
+        assert_eq!(r.instructions, 7);
+        assert_eq!(r.design, "WL-Cache");
+        assert_eq!(r.trace, "no-failure");
+        assert!(r.wl.is_some());
+        assert_eq!(r.outages, 0);
+        assert_eq!(r.on_time_ps, r.total_time_ps);
+    }
+
+    #[test]
+    fn non_wl_reports_have_no_wl_section() {
+        let r = Simulator::new(SimConfig::nvsram()).run(&Mini).unwrap();
+        assert!(r.wl.is_none());
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_self() {
+        let a = Simulator::new(SimConfig::wl_cache()).run(&Mini).unwrap();
+        let mut b = a.clone();
+        b.total_time_ps = a.total_time_ps * 2;
+        assert!((a.speedup_vs(&b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_basics() {
+        assert_eq!(gmean([]), None);
+        let g = gmean([2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! The top-level simulation driver.
+
+use crate::machine::{Abort, Machine};
+use crate::report::Report;
+use crate::{SimConfig, SimError};
+use ehsim_mem::Workload;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs workloads on a configured energy-harvesting machine.
+///
+/// See the crate-level example. `Simulator` is cheap to construct; each
+/// [`Simulator::run`] builds a fresh machine, so runs are independent
+/// and deterministic.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for `cfg`.
+    pub fn new(cfg: SimConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration this simulator runs.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs `workload` to completion on a fresh machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the energy source cannot sustain the
+    /// workload ([`SimError::SourceDead`], [`SimError::TooManyOutages`]),
+    /// if an invariant is violated ([`SimError::ReserveViolated`],
+    /// [`SimError::ConsistencyViolation`] under
+    /// [`SimConfig::verify`]), or if the workload itself panics.
+    pub fn run(&self, workload: &dyn Workload) -> Result<Report, SimError> {
+        let mut machine = Machine::new(&self.cfg, workload.mem_bytes());
+        let outcome = catch_unwind(AssertUnwindSafe(|| workload.run(&mut machine)));
+        match outcome {
+            Ok(checksum) => Ok(Report::from_machine(
+                &machine,
+                &self.cfg,
+                workload.name(),
+                checksum,
+            )),
+            Err(payload) => {
+                if let Some(err) = machine.take_error() {
+                    return Err(err);
+                }
+                let msg = if payload.is::<Abort>() {
+                    "machine aborted without a recorded error".to_string()
+                } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                Err(SimError::WorkloadPanic(msg))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehsim_energy::TraceKind;
+    use ehsim_mem::Bus;
+
+    struct Stream {
+        words: u32,
+    }
+    impl Workload for Stream {
+        fn name(&self) -> &str {
+            "stream"
+        }
+        fn mem_bytes(&self) -> u32 {
+            self.words * 4
+        }
+        fn run(&self, bus: &mut dyn Bus) -> u64 {
+            let mut acc = 0u64;
+            for i in 0..self.words {
+                bus.store_u32(i * 4, i.wrapping_mul(2654435761));
+            }
+            for i in 0..self.words {
+                acc = acc.wrapping_add(u64::from(bus.load_u32(i * 4)));
+                bus.compute(3);
+            }
+            acc
+        }
+    }
+
+    #[test]
+    fn checksums_match_across_all_designs_and_traces() {
+        let w = Stream { words: 2048 };
+        let mut functional = ehsim_mem::FunctionalMem::new(w.mem_bytes());
+        let expected = w.run(&mut functional);
+        for trace in [TraceKind::None, TraceKind::Rf1, TraceKind::Rf3] {
+            for cfg in SimConfig::all_designs() {
+                let label = cfg.design.label();
+                let r = Simulator::new(cfg.with_trace(trace).with_verify())
+                    .run(&w)
+                    .unwrap_or_else(|e| panic!("{label} on {trace:?}: {e}"));
+                assert_eq!(r.checksum, expected, "{label} on {trace:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_panics_are_reported() {
+        struct Boom;
+        impl Workload for Boom {
+            fn name(&self) -> &str {
+                "boom"
+            }
+            fn mem_bytes(&self) -> u32 {
+                64
+            }
+            fn run(&self, _bus: &mut dyn Bus) -> u64 {
+                panic!("kaboom");
+            }
+        }
+        let err = Simulator::new(SimConfig::wl_cache()).run(&Boom).unwrap_err();
+        assert!(matches!(err, SimError::WorkloadPanic(ref m) if m.contains("kaboom")));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = Stream { words: 1024 };
+        let cfg = SimConfig::wl_cache().with_trace(TraceKind::Rf2);
+        let a = Simulator::new(cfg.clone()).run(&w).unwrap();
+        let b = Simulator::new(cfg).run(&w).unwrap();
+        assert_eq!(a.total_time_ps, b.total_time_ps);
+        assert_eq!(a.outages, b.outages);
+        assert_eq!(a.checksum, b.checksum);
+    }
+}

@@ -1,0 +1,306 @@
+//! IMA ADPCM codec (MediaBench `adpcmencode` / `adpcmdecode`).
+//!
+//! A faithful IMA ADPCM implementation: 16-bit PCM ↔ 4-bit codes with
+//! the standard 89-entry step-size table and index-adjustment table.
+//! Both tables live in simulated memory (as the C benchmark's `.rodata`
+//! does), so the codec's characteristic access mix — streaming input,
+//! streaming packed output, hot table lines — flows through the cache.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+/// The standard IMA step-size table.
+const STEP_TABLE: [u16; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+/// The standard IMA index-adjustment table.
+const INDEX_TABLE: [i8; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+
+struct Layout {
+    step_tab: u32,
+    index_tab: u32,
+    input: u32,
+    output: u32,
+    total: u32,
+}
+
+fn layout(samples: u32, decode: bool) -> Layout {
+    let mut a = Alloc::new();
+    let step_tab = a.array(89 * 2);
+    let index_tab = a.array(16);
+    let (input, output) = if decode {
+        (a.array(samples / 2), a.array(samples * 2))
+    } else {
+        (a.array(samples * 2), a.array(samples / 2))
+    };
+    Layout {
+        step_tab,
+        index_tab,
+        input,
+        output,
+        total: a.used(),
+    }
+}
+
+fn init_tables(bus: &mut dyn Bus, l: &Layout) {
+    for (i, s) in STEP_TABLE.iter().enumerate() {
+        bus.store_u16(l.step_tab + 2 * i as u32, *s);
+    }
+    for (i, d) in INDEX_TABLE.iter().enumerate() {
+        bus.store_u8(l.index_tab + i as u32, *d as u8);
+    }
+}
+
+/// Shared predictor state, updated exactly as the reference coder does.
+struct CodecState {
+    predicted: i32,
+    index: i32,
+}
+
+impl CodecState {
+    fn new() -> Self {
+        Self {
+            predicted: 0,
+            index: 0,
+        }
+    }
+
+    fn step(&self, bus: &mut dyn Bus, l: &Layout) -> i32 {
+        i32::from(bus.load_u16(l.step_tab + 2 * self.index as u32))
+    }
+
+    fn adjust(&mut self, bus: &mut dyn Bus, l: &Layout, code: u8) {
+        let delta = bus.load_u8(l.index_tab + u32::from(code)) as i8;
+        self.index = (self.index + i32::from(delta)).clamp(0, 88);
+    }
+
+    /// Reconstructs the difference for `code` at step size `step` and
+    /// updates the predictor (common to encoder and decoder).
+    fn reconstruct(&mut self, bus: &mut dyn Bus, code: u8, step: i32) {
+        let mut diff = step >> 3;
+        if code & 4 != 0 {
+            diff += step;
+        }
+        if code & 2 != 0 {
+            diff += step >> 1;
+        }
+        if code & 1 != 0 {
+            diff += step >> 2;
+        }
+        if code & 8 != 0 {
+            self.predicted -= diff;
+        } else {
+            self.predicted += diff;
+        }
+        self.predicted = self.predicted.clamp(-32768, 32767);
+        bus.compute(6);
+    }
+}
+
+fn encode_sample(state: &mut CodecState, bus: &mut dyn Bus, l: &Layout, sample: i16) -> u8 {
+    let step = state.step(bus, l);
+    let mut diff = i32::from(sample) - state.predicted;
+    let mut code: u8 = 0;
+    if diff < 0 {
+        code |= 8;
+        diff = -diff;
+    }
+    let mut s = step;
+    if diff >= s {
+        code |= 4;
+        diff -= s;
+    }
+    s >>= 1;
+    if diff >= s {
+        code |= 2;
+        diff -= s;
+    }
+    s >>= 1;
+    if diff >= s {
+        code |= 1;
+    }
+    bus.compute(8);
+    state.reconstruct(bus, code & 0x7 | (code & 8), step);
+    state.adjust(bus, l, code);
+    code
+}
+
+fn decode_code(state: &mut CodecState, bus: &mut dyn Bus, l: &Layout, code: u8) -> i16 {
+    let step = state.step(bus, l);
+    state.reconstruct(bus, code, step);
+    state.adjust(bus, l, code);
+    state.predicted as i16
+}
+
+/// MediaBench `adpcmencode`: PCM → 4-bit IMA ADPCM.
+#[derive(Debug, Clone)]
+pub struct AdpcmEncode {
+    samples: u32,
+}
+
+impl AdpcmEncode {
+    /// Encoder over `samples` PCM samples (must be even and ≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is odd or zero.
+    pub fn new(samples: u32) -> Self {
+        assert!(samples >= 2 && samples % 2 == 0);
+        Self { samples }
+    }
+
+    /// Test-sized instance.
+    pub fn small() -> Self {
+        Self::new(2_000)
+    }
+
+    /// Instance for `scale`.
+    pub fn with_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => Self::small(),
+            Scale::Default => Self::new(200_000),
+        }
+    }
+}
+
+impl Workload for AdpcmEncode {
+    fn name(&self) -> &str {
+        "adpcmencode"
+    }
+
+    fn mem_bytes(&self) -> u32 {
+        layout(self.samples, false).total
+    }
+
+    fn run(&self, bus: &mut dyn Bus) -> u64 {
+        let l = layout(self.samples, false);
+        init_tables(bus, &l);
+        let mut rng = SplitMix64::new(0xadc0de);
+        for t in 0..self.samples {
+            let s = rng.pcm_sample(t);
+            bus.store_u16(l.input + 2 * t, s as u16);
+        }
+        let mut st = CodecState::new();
+        for t in 0..self.samples / 2 {
+            let a = bus.load_u16(l.input + 4 * t) as i16;
+            let b = bus.load_u16(l.input + 4 * t + 2) as i16;
+            let ca = encode_sample(&mut st, bus, &l, a);
+            let cb = encode_sample(&mut st, bus, &l, b);
+            bus.store_u8(l.output + t, ca | (cb << 4));
+        }
+        checksum_region(bus, l.output, self.samples / 8)
+    }
+}
+
+/// MediaBench `adpcmdecode`: 4-bit IMA ADPCM → PCM.
+#[derive(Debug, Clone)]
+pub struct AdpcmDecode {
+    samples: u32,
+}
+
+impl AdpcmDecode {
+    /// Decoder producing `samples` PCM samples (must be even and ≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is odd or zero.
+    pub fn new(samples: u32) -> Self {
+        assert!(samples >= 2 && samples % 2 == 0);
+        Self { samples }
+    }
+
+    /// Test-sized instance.
+    pub fn small() -> Self {
+        Self::new(2_000)
+    }
+
+    /// Instance for `scale`.
+    pub fn with_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => Self::small(),
+            Scale::Default => Self::new(100_000),
+        }
+    }
+}
+
+impl Workload for AdpcmDecode {
+    fn name(&self) -> &str {
+        "adpcmdecode"
+    }
+
+    fn mem_bytes(&self) -> u32 {
+        layout(self.samples, true).total
+    }
+
+    fn run(&self, bus: &mut dyn Bus) -> u64 {
+        let l = layout(self.samples, true);
+        init_tables(bus, &l);
+        // Synthesise a compressed stream by actually encoding a PCM
+        // source — decoding random nibbles would still be valid IMA but
+        // this keeps the decoder exercising realistic code sequences.
+        let mut rng = SplitMix64::new(0xdec0de);
+        let mut enc = CodecState::new();
+        for t in 0..self.samples / 2 {
+            let sa = rng.pcm_sample(2 * t);
+            let sb = rng.pcm_sample(2 * t + 1);
+            let ca = encode_sample(&mut enc, bus, &l, sa);
+            let cb = encode_sample(&mut enc, bus, &l, sb);
+            bus.store_u8(l.input + t, ca | (cb << 4));
+        }
+        let mut st = CodecState::new();
+        for t in 0..self.samples / 2 {
+            let packed = bus.load_u8(l.input + t);
+            let a = decode_code(&mut st, bus, &l, packed & 0xf);
+            let b = decode_code(&mut st, bus, &l, packed >> 4);
+            bus.store_u16(l.output + 4 * t, a as u16);
+            bus.store_u16(l.output + 4 * t + 2, b as u16);
+        }
+        checksum_region(bus, l.output, self.samples / 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+    use ehsim_mem::FunctionalMem;
+
+    #[test]
+    fn encode_properties() {
+        check_workload(AdpcmEncode::small(), AdpcmEncode::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn decode_properties() {
+        check_workload(AdpcmDecode::small(), AdpcmDecode::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn decoder_tracks_encoder_roughly() {
+        // Encode then decode inside the decoder kernel: the decoded PCM
+        // must correlate with a plausible waveform (bounded values).
+        let w = AdpcmDecode::small();
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        let _ = w.run(&mut mem);
+        // Spot-check some decoded samples for boundedness.
+        let l = layout(2_000, true);
+        for t in 0..100u32 {
+            let s = mem.load_u16(l.output + 4 * t) as i16;
+            // Reconstruction must not be stuck at an extreme.
+            assert_ne!(s, i16::MIN);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_sample_count_rejected() {
+        let _ = AdpcmEncode::new(3);
+    }
+}

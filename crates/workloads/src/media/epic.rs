@@ -1,0 +1,165 @@
+//! EPIC-style image pyramid coder (MediaBench `epic`).
+//!
+//! EPIC compresses images with a wavelet pyramid followed by scalar
+//! quantisation and run-length coding. This kernel performs a 2-D Haar
+//! wavelet transform (the same separable row/column pass structure as
+//! EPIC's QMF pyramid, and the same strided-column access pattern that
+//! stresses the cache), three pyramid levels deep, then quantises and
+//! run-length counts the coefficients.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+/// MediaBench `epic`.
+#[derive(Debug, Clone)]
+pub struct Epic {
+    /// Image is `dim × dim` 16-bit pixels; `dim` must be a power of two
+    /// ≥ 8.
+    dim: u32,
+    levels: u32,
+}
+
+impl Epic {
+    /// Coder over a `dim × dim` image with `levels` pyramid levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dim` is a power of two ≥ 8 and
+    /// `dim >> levels >= 4`.
+    pub fn new(dim: u32, levels: u32) -> Self {
+        assert!(dim.is_power_of_two() && dim >= 8);
+        assert!(dim >> levels >= 4);
+        Self { dim, levels }
+    }
+
+    /// Test-sized instance (32×32, 2 levels).
+    pub fn small() -> Self {
+        Self::new(32, 2)
+    }
+
+    /// Instance for `scale`.
+    pub fn with_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => Self::small(),
+            Scale::Default => Self::new(128, 3),
+        }
+    }
+
+    fn px(&self, base: u32, x: u32, y: u32) -> u32 {
+        base + 2 * (y * self.dim + x)
+    }
+}
+
+impl Workload for Epic {
+    fn name(&self) -> &str {
+        "epic"
+    }
+
+    fn mem_bytes(&self) -> u32 {
+        let mut a = Alloc::new();
+        let _img = a.array(self.dim * self.dim * 2);
+        let _tmp = a.array(self.dim * 2);
+        let _rle = a.array(self.dim * self.dim / 4);
+        a.used()
+    }
+
+    fn run(&self, bus: &mut dyn Bus) -> u64 {
+        let mut a = Alloc::new();
+        let img = a.array(self.dim * self.dim * 2);
+        let tmp = a.array(self.dim * 2);
+        let rle = a.array(self.dim * self.dim / 4);
+
+        // Synthesise a smooth image with texture (so wavelet
+        // coefficients have realistic sparsity).
+        let mut rng = SplitMix64::new(0xe91c);
+        for y in 0..self.dim {
+            for x in 0..self.dim {
+                let v = ((x * 7 + y * 3) % 251) as i32 + ((rng.next_u32() & 15) as i32) - 8;
+                bus.store_u16(self.px(img, x, y), v as u16);
+                bus.compute(2);
+            }
+        }
+
+        // Haar pyramid: rows then columns, halving extent per level.
+        let mut extent = self.dim;
+        for _ in 0..self.levels {
+            // Row pass.
+            for y in 0..extent {
+                for x in 0..extent / 2 {
+                    let a0 = bus.load_u16(self.px(img, 2 * x, y)) as i16 as i32;
+                    let b0 = bus.load_u16(self.px(img, 2 * x + 1, y)) as i16 as i32;
+                    bus.store_u16(tmp + 2 * x, (((a0 + b0) >> 1) & 0xffff) as u16);
+                    bus.store_u16(
+                        tmp + 2 * (extent / 2 + x),
+                        ((a0 - b0) & 0xffff) as u16,
+                    );
+                    bus.compute(4);
+                }
+                for x in 0..extent {
+                    let v = bus.load_u16(tmp + 2 * x);
+                    bus.store_u16(self.px(img, x, y), v);
+                }
+            }
+            // Column pass (strided by a full row: the cache-hostile
+            // access EPIC is known for).
+            for x in 0..extent {
+                for y in 0..extent / 2 {
+                    let a0 = bus.load_u16(self.px(img, x, 2 * y)) as i16 as i32;
+                    let b0 = bus.load_u16(self.px(img, x, 2 * y + 1)) as i16 as i32;
+                    bus.store_u16(tmp + 2 * y, (((a0 + b0) >> 1) & 0xffff) as u16);
+                    bus.store_u16(
+                        tmp + 2 * (extent / 2 + y),
+                        ((a0 - b0) & 0xffff) as u16,
+                    );
+                    bus.compute(4);
+                }
+                for y in 0..extent {
+                    let v = bus.load_u16(tmp + 2 * y);
+                    bus.store_u16(self.px(img, x, y), v);
+                }
+            }
+            extent /= 2;
+        }
+
+        // Quantise + run-length count zero runs into the RLE buffer.
+        let mut run: u32 = 0;
+        let mut out_ix: u32 = 0;
+        let rle_cap = self.dim * self.dim / 16;
+        for y in 0..self.dim {
+            for x in 0..self.dim {
+                let c = bus.load_u16(self.px(img, x, y)) as i16 as i32;
+                let q = c / 8;
+                bus.compute(2);
+                if q == 0 {
+                    run += 1;
+                } else {
+                    if out_ix < rle_cap {
+                        bus.store_u32(rle + 4 * out_ix, (run << 8) | (q as u32 & 0xff));
+                        out_ix += 1;
+                    }
+                    run = 0;
+                }
+            }
+        }
+        checksum_region(bus, rle, out_ix.min(rle_cap))
+            ^ u64::from(out_ix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+
+    #[test]
+    fn epic_properties() {
+        check_workload(Epic::small(), Epic::with_scale(Scale::Default));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_levels_rejected() {
+        let _ = Epic::new(16, 3);
+    }
+}

@@ -1,0 +1,303 @@
+//! G.721-style 32 kbit/s ADPCM codec (MediaBench `g721encode` /
+//! `g721decode`).
+//!
+//! G.721 uses a 4-bit adaptive quantiser with a logarithmic scale factor
+//! and a two-pole/six-zero adaptive predictor. This kernel implements a
+//! faithful simplification: the log-domain scale-factor adaptation with
+//! the standard `W(I)` multiplier table and a six-tap FIR adaptive
+//! predictor with sign-sign LMS updates — preserving the per-sample
+//! table lookups and predictor-state traffic of the reference coder.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+/// The G.721 scale-factor multiplier table `W(I)` (Q4).
+const W_TABLE: [i16; 8] = [-12, 18, 41, 64, 112, 198, 355, 1122];
+
+const TAPS: u32 = 6;
+
+struct Layout {
+    w_tab: u32,
+    coeffs: u32,
+    history: u32,
+    input: u32,
+    output: u32,
+    total: u32,
+}
+
+fn layout(samples: u32, decode: bool) -> Layout {
+    let mut a = Alloc::new();
+    let w_tab = a.array(8 * 2);
+    let coeffs = a.array(TAPS * 4);
+    let history = a.array(TAPS * 4);
+    let (input, output) = if decode {
+        (a.array(samples), a.array(samples * 2))
+    } else {
+        (a.array(samples * 2), a.array(samples))
+    };
+    Layout {
+        w_tab,
+        coeffs,
+        history,
+        input,
+        output,
+        total: a.used(),
+    }
+}
+
+fn init_state(bus: &mut dyn Bus, l: &Layout) {
+    for (i, w) in W_TABLE.iter().enumerate() {
+        bus.store_u16(l.w_tab + 2 * i as u32, *w as u16);
+    }
+    for i in 0..TAPS {
+        bus.store_i32(l.coeffs + 4 * i, 0);
+        bus.store_i32(l.history + 4 * i, 0);
+    }
+}
+
+/// Scale factor in Q4 plus the adaptive predictor, all state in memory.
+struct G721 {
+    y: i32, // log scale factor, Q4
+}
+
+impl G721 {
+    fn new() -> Self {
+        Self { y: 80 }
+    }
+
+    /// FIR prediction from the in-memory history/coefficients.
+    fn predict(&self, bus: &mut dyn Bus, l: &Layout) -> i32 {
+        let mut acc = 0i64;
+        for i in 0..TAPS {
+            let c = i64::from(bus.load_i32(l.coeffs + 4 * i));
+            let h = i64::from(bus.load_i32(l.history + 4 * i));
+            acc += c * h;
+            bus.compute(2);
+        }
+        (acc >> 14) as i32
+    }
+
+    /// Sign-sign LMS coefficient update + history shift.
+    fn update(&mut self, bus: &mut dyn Bus, l: &Layout, err: i32, reconstructed: i32) {
+        for i in 0..TAPS {
+            let h = bus.load_i32(l.history + 4 * i);
+            let c = bus.load_i32(l.coeffs + 4 * i);
+            let step = if (err >= 0) == (h >= 0) { 12 } else { -12 };
+            bus.store_i32(l.coeffs + 4 * i, (c + step).clamp(-(1 << 15), 1 << 15));
+            bus.compute(3);
+        }
+        for i in (1..TAPS).rev() {
+            let prev = bus.load_i32(l.history + 4 * (i - 1));
+            bus.store_i32(l.history + 4 * i, prev);
+        }
+        bus.store_i32(l.history, reconstructed);
+    }
+
+    /// Quantises `diff` against the current step, returning the 4-bit
+    /// code (sign + 3 magnitude bits).
+    fn quantise(&self, diff: i32) -> u8 {
+        let step = self.step();
+        let mut mag = diff.unsigned_abs() as i32;
+        let mut code = 0u8;
+        for _ in 0..3 {
+            code <<= 1;
+            if mag >= step {
+                code |= 1;
+                mag -= step;
+            }
+        }
+        if diff < 0 {
+            code | 8
+        } else {
+            code
+        }
+    }
+
+    fn dequantise(&self, code: u8) -> i32 {
+        let step = self.step();
+        let mag = i32::from(code & 7) * step + step / 2;
+        if code & 8 != 0 {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// Linear step derived from the log scale factor (Q4 → linear).
+    fn step(&self) -> i32 {
+        let exp = (self.y >> 4).clamp(0, 14);
+        let frac = self.y & 0xf;
+        ((16 + frac) << exp) >> 6
+    }
+
+    /// Log scale-factor adaptation with the `W(I)` table.
+    fn adapt(&mut self, bus: &mut dyn Bus, l: &Layout, code: u8) {
+        let w = bus.load_u16(l.w_tab + 2 * u32::from(code & 7)) as i16;
+        // y(k+1) = (1 − 2^−5)·y(k) + 2^−5·W(I)
+        self.y += (i32::from(w) - self.y) >> 5;
+        self.y = self.y.clamp(16, 1024);
+        bus.compute(4);
+    }
+}
+
+fn encode_one(g: &mut G721, bus: &mut dyn Bus, l: &Layout, sample: i16) -> u8 {
+    let pred = g.predict(bus, l);
+    let diff = i32::from(sample) - pred;
+    let code = g.quantise(diff);
+    let dq = g.dequantise(code);
+    let recon = (pred + dq).clamp(-32768, 32767);
+    g.update(bus, l, dq, recon);
+    g.adapt(bus, l, code);
+    bus.compute(6);
+    code
+}
+
+fn decode_one(g: &mut G721, bus: &mut dyn Bus, l: &Layout, code: u8) -> i16 {
+    let pred = g.predict(bus, l);
+    let dq = g.dequantise(code);
+    let recon = (pred + dq).clamp(-32768, 32767);
+    g.update(bus, l, dq, recon);
+    g.adapt(bus, l, code);
+    bus.compute(4);
+    recon as i16
+}
+
+macro_rules! g721_workload {
+    ($name:ident, $label:literal, $decode:expr, $default:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            samples: u32,
+        }
+
+        impl $name {
+            /// Codec over `samples` samples.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `samples == 0`.
+            pub fn new(samples: u32) -> Self {
+                assert!(samples > 0);
+                Self { samples }
+            }
+
+            /// Test-sized instance.
+            pub fn small() -> Self {
+                Self::new(1_200)
+            }
+
+            /// Instance for `scale`.
+            pub fn with_scale(scale: Scale) -> Self {
+                match scale {
+                    Scale::Small => Self::small(),
+                    Scale::Default => Self::new($default),
+                }
+            }
+        }
+
+        impl Workload for $name {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn mem_bytes(&self) -> u32 {
+                layout(self.samples, $decode).total
+            }
+
+            fn run(&self, bus: &mut dyn Bus) -> u64 {
+                let l = layout(self.samples, $decode);
+                init_state(bus, &l);
+                let mut rng = SplitMix64::new(0x9721);
+                if $decode {
+                    // Produce a code stream with an encoder, reset, then
+                    // decode it.
+                    let mut g = G721::new();
+                    for t in 0..self.samples {
+                        let s = rng.pcm_sample(t);
+                        let c = encode_one(&mut g, bus, &l, s);
+                        bus.store_u8(l.input + t, c);
+                    }
+                    init_state(bus, &l);
+                    let mut g = G721::new();
+                    for t in 0..self.samples {
+                        let c = bus.load_u8(l.input + t);
+                        let s = decode_one(&mut g, bus, &l, c & 0xf);
+                        bus.store_u16(l.output + 2 * t, s as u16);
+                    }
+                    checksum_region(bus, l.output, self.samples / 2)
+                } else {
+                    for t in 0..self.samples {
+                        let s = rng.pcm_sample(t);
+                        bus.store_u16(l.input + 2 * t, s as u16);
+                    }
+                    let mut g = G721::new();
+                    for t in 0..self.samples {
+                        let s = bus.load_u16(l.input + 2 * t) as i16;
+                        let c = encode_one(&mut g, bus, &l, s);
+                        bus.store_u8(l.output + t, c);
+                    }
+                    checksum_region(bus, l.output, self.samples / 4)
+                }
+            }
+        }
+    };
+}
+
+g721_workload!(
+    G721Encode,
+    "g721encode",
+    false,
+    40_000,
+    "MediaBench `g721encode`: PCM → 4-bit G.721-style ADPCM."
+);
+g721_workload!(
+    G721Decode,
+    "g721decode",
+    true,
+    16_000,
+    "MediaBench `g721decode`: 4-bit G.721-style ADPCM → PCM."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+    use ehsim_mem::FunctionalMem;
+
+    #[test]
+    fn encode_properties() {
+        check_workload(G721Encode::small(), G721Encode::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn decode_properties() {
+        check_workload(G721Decode::small(), G721Decode::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn decoder_reconstruction_is_bounded() {
+        let w = G721Decode::small();
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        let _ = w.run(&mut mem);
+        let l = layout(1_200, true);
+        for t in 0..200u32 {
+            let s = mem.load_u16(l.output + 2 * t) as i16;
+            assert_ne!(s, i16::MIN, "reconstruction pinned at the rail");
+        }
+    }
+
+    #[test]
+    fn scale_factor_stays_clamped() {
+        let mut g = G721::new();
+        let mut mem = FunctionalMem::new(4096);
+        let l = layout(4, false);
+        init_state(&mut mem, &l);
+        for c in 0..16u8 {
+            for _ in 0..200 {
+                g.adapt(&mut mem, &l, c);
+            }
+            assert!((16..=1024).contains(&g.y));
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! GSM 06.10 full-rate style codec (MediaBench `gsmencode` /
+//! `gsmdecode`).
+//!
+//! GSM-FR processes 160-sample frames through short-term LPC analysis
+//! (autocorrelation → reflection coefficients via Schur recursion) and
+//! long-term prediction (a lag search over the previous 120 samples —
+//! the codec's hottest loop). This kernel implements both stages in
+//! fixed point over simulated memory: the LTP search's sliding-window
+//! loads dominate, exactly as in the reference encoder.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+const FRAME: u32 = 160;
+const SUBFRAME: u32 = 40;
+const LAG_MIN: u32 = 40;
+const LAG_MAX: u32 = 120;
+const ORDER: usize = 8;
+
+struct Layout {
+    input: u32,
+    history: u32,
+    output: u32,
+    total: u32,
+}
+
+fn layout(frames: u32) -> Layout {
+    let mut a = Alloc::new();
+    let input = a.array(frames * FRAME * 2);
+    let history = a.array((LAG_MAX + FRAME) * 2);
+    let output = a.array(frames * (ORDER as u32 * 2 + (FRAME / SUBFRAME) * 4));
+    Layout {
+        input,
+        history,
+        output,
+        total: a.used(),
+    }
+}
+
+/// Autocorrelation of one frame (lags 0..ORDER), fixed point.
+fn autocorrelate(bus: &mut dyn Bus, base: u32, acf: &mut [i64; ORDER + 1]) {
+    for (lag, slot) in acf.iter_mut().enumerate() {
+        let mut acc = 0i64;
+        for n in lag as u32..FRAME {
+            let a = bus.load_u16(base + 2 * n) as i16 as i64;
+            let b = bus.load_u16(base + 2 * (n - lag as u32)) as i16 as i64;
+            acc += (a * b) >> 8;
+            bus.compute(2);
+        }
+        *slot = acc;
+    }
+}
+
+/// Schur recursion: autocorrelation → reflection coefficients (Q12).
+fn schur(acf: &[i64; ORDER + 1], refl: &mut [i32; ORDER]) {
+    if acf[0] == 0 {
+        refl.fill(0);
+        return;
+    }
+    let mut p = [0i64; ORDER + 1];
+    let mut k = [0i64; ORDER + 1];
+    p.copy_from_slice(acf);
+    k[..ORDER].copy_from_slice(&acf[1..]);
+    for i in 0..ORDER {
+        if p[0] == 0 {
+            refl[i..].iter_mut().for_each(|r| *r = 0);
+            break;
+        }
+        let r = -((k[0] << 12) / p[0].max(1));
+        refl[i] = r.clamp(-4095, 4095) as i32;
+        let ri = i64::from(refl[i]);
+        for j in 0..ORDER - i {
+            let kj = k[j];
+            let pj1 = p[j + 1];
+            p[j + 1] = pj1 + ((ri * kj) >> 12);
+            if j + 1 < ORDER - i {
+                k[j] = k[j + 1] + ((ri * pj1) >> 12);
+            }
+        }
+        p[0] += (ri * k[0]) >> 12;
+    }
+}
+
+/// LTP lag search: best cross-correlation lag in `[LAG_MIN, LAG_MAX)`.
+fn ltp_search(bus: &mut dyn Bus, l: &Layout, sub_base: u32) -> (u32, i32) {
+    let mut best_lag = LAG_MIN;
+    let mut best_score = i64::MIN;
+    for lag in LAG_MIN..LAG_MAX {
+        let mut score = 0i64;
+        for n in 0..SUBFRAME {
+            let cur = bus.load_u16(sub_base + 2 * n) as i16 as i64;
+            let past = bus.load_u16(l.history + 2 * (LAG_MAX + n - lag)) as i16 as i64;
+            score += (cur * past) >> 6;
+            bus.compute(2);
+        }
+        if score > best_score {
+            best_score = score;
+            best_lag = lag;
+        }
+        bus.compute(2);
+    }
+    (best_lag, (best_score >> 16) as i32)
+}
+
+fn run_codec(bus: &mut dyn Bus, frames: u32, decode: bool, seed: u64) -> u64 {
+    let l = layout(frames);
+    let mut rng = SplitMix64::new(seed);
+    for t in 0..frames * FRAME {
+        bus.store_u16(l.input + 2 * t, rng.pcm_sample(t) as u16);
+    }
+    for i in 0..LAG_MAX + FRAME {
+        bus.store_u16(l.history + 2 * i, 0);
+    }
+
+    let mut out = l.output;
+    for f in 0..frames {
+        let frame_base = l.input + 2 * f * FRAME;
+        let mut acf = [0i64; ORDER + 1];
+        autocorrelate(bus, frame_base, &mut acf);
+        let mut refl = [0i32; ORDER];
+        schur(&acf, &mut refl);
+        bus.compute(ORDER as u64 * ORDER as u64);
+        for r in refl {
+            bus.store_u16(out, (r & 0xffff) as u16);
+            out += 2;
+        }
+        for s in 0..FRAME / SUBFRAME {
+            let sub_base = frame_base + 2 * s * SUBFRAME;
+            let (lag, gain) = ltp_search(bus, &l, sub_base);
+            bus.store_u32(out, (lag << 16) | (gain as u32 & 0xffff));
+            out += 4;
+            // Decoder side: long-term synthesis — reconstruct the
+            // subframe from the lagged history plus residual.
+            if decode {
+                for n in 0..SUBFRAME {
+                    let past = bus.load_u16(l.history + 2 * (LAG_MAX + n - lag)) as i16 as i32;
+                    let res = bus.load_u16(sub_base + 2 * n) as i16 as i32;
+                    let synth = (past * 3 / 4 + res / 4).clamp(-32768, 32767);
+                    bus.store_u16(sub_base + 2 * n, synth as u16);
+                    bus.compute(3);
+                }
+            }
+            // Slide the history window forward by one subframe.
+            for n in 0..LAG_MAX {
+                let v = if n < LAG_MAX - SUBFRAME {
+                    bus.load_u16(l.history + 2 * (n + SUBFRAME))
+                } else {
+                    bus.load_u16(sub_base + 2 * (n - (LAG_MAX - SUBFRAME)))
+                };
+                bus.store_u16(l.history + 2 * n, v);
+            }
+        }
+    }
+    let out_words = (out - l.output) / 4;
+    checksum_region(bus, l.output, out_words)
+}
+
+macro_rules! gsm_workload {
+    ($name:ident, $label:literal, $decode:expr, $seed:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            frames: u32,
+        }
+
+        impl $name {
+            /// Codec over `frames` 160-sample frames.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `frames == 0`.
+            pub fn new(frames: u32) -> Self {
+                assert!(frames > 0);
+                Self { frames }
+            }
+
+            /// Test-sized instance.
+            pub fn small() -> Self {
+                Self::new(2)
+            }
+
+            /// Instance for `scale`.
+            pub fn with_scale(scale: Scale) -> Self {
+                match scale {
+                    Scale::Small => Self::small(),
+                    Scale::Default => Self::new(40),
+                }
+            }
+        }
+
+        impl Workload for $name {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn mem_bytes(&self) -> u32 {
+                layout(self.frames).total
+            }
+
+            fn run(&self, bus: &mut dyn Bus) -> u64 {
+                run_codec(bus, self.frames, $decode, $seed)
+            }
+        }
+    };
+}
+
+gsm_workload!(
+    GsmEncode,
+    "gsmencode",
+    false,
+    0x95e,
+    "MediaBench `gsmencode`: LPC analysis + LTP lag search per frame."
+);
+gsm_workload!(
+    GsmDecode,
+    "gsmdecode",
+    true,
+    0x95d,
+    "MediaBench `gsmdecode`: LPC analysis + long-term synthesis."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+
+    #[test]
+    fn encode_properties() {
+        check_workload(GsmEncode::small(), GsmEncode::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn decode_properties() {
+        check_workload(GsmDecode::small(), GsmDecode::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn schur_of_impulse_is_zeroish() {
+        let mut acf = [0i64; ORDER + 1];
+        acf[0] = 1 << 20;
+        let mut refl = [0i32; ORDER];
+        schur(&acf, &mut refl);
+        assert!(refl.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn schur_handles_zero_energy() {
+        let acf = [0i64; ORDER + 1];
+        let mut refl = [7i32; ORDER];
+        schur(&acf, &mut refl);
+        assert_eq!(refl, [0; ORDER]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Baseline JPEG block pipeline (MediaBench `jpegencode` /
+//! `jpegdecode`).
+//!
+//! The hot path of a baseline JPEG codec is per-8×8-block: forward DCT →
+//! quantisation → zigzag (encode) and dezigzag → dequantisation →
+//! inverse DCT (decode). This kernel implements the integer (AAN-style
+//! separable) DCT/IDCT, the standard luminance quantisation table and
+//! the zigzag order over simulated memory, block by block across an
+//! image.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+/// The standard JPEG luminance quantisation table, quality ~50.
+const QUANT: [u8; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
+    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
+    104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// The zigzag scan order.
+const ZIGZAG: [u8; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+struct Layout {
+    quant: u32,
+    zigzag: u32,
+    image: u32,
+    coeffs: u32,
+    total: u32,
+}
+
+fn layout(blocks: u32) -> Layout {
+    let mut a = Alloc::new();
+    let quant = a.array(64);
+    let zigzag = a.array(64);
+    let image = a.array(blocks * 64 * 2);
+    let coeffs = a.array(blocks * 64 * 2);
+    Layout {
+        quant,
+        zigzag,
+        image,
+        coeffs,
+        total: a.used(),
+    }
+}
+
+fn init_tables(bus: &mut dyn Bus, l: &Layout) {
+    for i in 0..64u32 {
+        bus.store_u8(l.quant + i, QUANT[i as usize]);
+        bus.store_u8(l.zigzag + i, ZIGZAG[i as usize]);
+    }
+}
+
+/// One-dimensional 8-point integer DCT pass (in-place over `v`),
+/// a butterfly structure like the AAN fast DCT.
+fn dct8(v: &mut [i32; 8], inverse: bool) {
+    const C1: i32 = 251; // cos(pi/16) * 256
+    const C2: i32 = 237;
+    const C3: i32 = 213;
+
+    if !inverse {
+        let (s07, d07) = (v[0] + v[7], v[0] - v[7]);
+        let (s16, d16) = (v[1] + v[6], v[1] - v[6]);
+        let (s25, d25) = (v[2] + v[5], v[2] - v[5]);
+        let (s34, d34) = (v[3] + v[4], v[3] - v[4]);
+        v[0] = s07 + s34 + s16 + s25;
+        v[4] = s07 + s34 - s16 - s25;
+        v[2] = ((s07 - s34) * C2 + (s16 - s25) * 98) >> 8;
+        v[6] = ((s07 - s34) * 98 - (s16 - s25) * C2) >> 8;
+        v[1] = (d07 * C1 + d16 * C3 + d25 * 142 + d34 * 50) >> 8;
+        v[3] = (d07 * C3 - d16 * 50 - d25 * C1 - d34 * 142) >> 8;
+        v[5] = (d07 * 142 - d16 * C1 + d25 * 50 + d34 * C3) >> 8;
+        v[7] = (d07 * 50 - d16 * 142 + d25 * C3 - d34 * C1) >> 8;
+    } else {
+        let e0 = v[0] + v[4];
+        let e1 = v[0] - v[4];
+        let e2 = (v[2] * C2 + v[6] * 98) >> 8;
+        let e3 = (v[2] * 98 - v[6] * C2) >> 8;
+        let o0 = (v[1] * C1 + v[3] * C3 + v[5] * 142 + v[7] * 50) >> 8;
+        let o1 = (v[1] * C3 - v[3] * 50 - v[5] * C1 - v[7] * 142) >> 8;
+        let o2 = (v[1] * 142 - v[3] * C1 + v[5] * 50 + v[7] * C3) >> 8;
+        let o3 = (v[1] * 50 - v[3] * 142 + v[5] * C3 - v[7] * C1) >> 8;
+        v[0] = (e0 + e2 + o0) >> 2;
+        v[7] = (e0 + e2 - o0) >> 2;
+        v[1] = (e1 + e3 + o1) >> 2;
+        v[6] = (e1 + e3 - o1) >> 2;
+        v[2] = (e1 - e3 + o2) >> 2;
+        v[5] = (e1 - e3 - o2) >> 2;
+        v[3] = (e0 - e2 + o3) >> 2;
+        v[4] = (e0 - e2 - o3) >> 2;
+    }
+}
+
+/// Loads an 8×8 block (i16) from `base`, runs the separable 2-D
+/// (I)DCT, and stores it back.
+fn dct2d(bus: &mut dyn Bus, base: u32, inverse: bool) {
+    let mut block = [[0i32; 8]; 8];
+    for (y, row) in block.iter_mut().enumerate() {
+        for (x, cell) in row.iter_mut().enumerate() {
+            *cell = bus.load_u16(base + 2 * (y as u32 * 8 + x as u32)) as i16 as i32;
+        }
+    }
+    for row in block.iter_mut() {
+        dct8(row, inverse);
+        bus.compute(40);
+    }
+    for x in 0..8 {
+        let mut col = [0i32; 8];
+        for (y, c) in col.iter_mut().enumerate() {
+            *c = block[y][x];
+        }
+        dct8(&mut col, inverse);
+        bus.compute(40);
+        for (y, c) in col.iter().enumerate() {
+            block[y][x] = *c;
+        }
+    }
+    for (y, row) in block.iter().enumerate() {
+        for (x, cell) in row.iter().enumerate() {
+            let v = (*cell).clamp(-32768, 32767);
+            bus.store_u16(base + 2 * (y as u32 * 8 + x as u32), v as u16);
+        }
+    }
+}
+
+macro_rules! jpeg_workload {
+    ($name:ident, $label:literal, $encode:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            blocks: u32,
+        }
+
+        impl $name {
+            /// Pipeline over `blocks` 8×8 blocks.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `blocks == 0`.
+            pub fn new(blocks: u32) -> Self {
+                assert!(blocks > 0);
+                Self { blocks }
+            }
+
+            /// Test-sized instance.
+            pub fn small() -> Self {
+                Self::new(12)
+            }
+
+            /// Instance for `scale`.
+            pub fn with_scale(scale: Scale) -> Self {
+                match scale {
+                    Scale::Small => Self::small(),
+                    Scale::Default => Self::new(1_000),
+                }
+            }
+        }
+
+        impl Workload for $name {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn mem_bytes(&self) -> u32 {
+                layout(self.blocks).total
+            }
+
+            fn run(&self, bus: &mut dyn Bus) -> u64 {
+                let l = layout(self.blocks);
+                init_tables(bus, &l);
+                let mut rng = SplitMix64::new(0x11fe6);
+                // Synthesise pixel blocks (smooth gradient + noise).
+                for b in 0..self.blocks {
+                    for i in 0..64u32 {
+                        let (x, y) = (i % 8, i / 8);
+                        let v = ((x * 13 + y * 7 + b) % 200) as i32 - 100
+                            + (rng.next_u32() & 7) as i32;
+                        bus.store_u16(l.image + 2 * (b * 64 + i), v as u16);
+                    }
+                }
+
+                for b in 0..self.blocks {
+                    let img = l.image + 2 * b * 64;
+                    let coef = l.coeffs + 2 * b * 64;
+                    if $encode {
+                        dct2d(bus, img, false);
+                        // Quantise + zigzag into the coefficient plane.
+                        for i in 0..64u32 {
+                            let zz = u32::from(bus.load_u8(l.zigzag + i));
+                            let q = i32::from(bus.load_u8(l.quant + zz));
+                            let c = bus.load_u16(img + 2 * zz) as i16 as i32;
+                            bus.store_u16(coef + 2 * i, ((c / q) & 0xffff) as u16);
+                            bus.compute(4);
+                        }
+                    } else {
+                        // Dezigzag + dequantise pseudo-coefficients,
+                        // then inverse transform.
+                        for i in 0..64u32 {
+                            let zz = u32::from(bus.load_u8(l.zigzag + i));
+                            let q = i32::from(bus.load_u8(l.quant + zz));
+                            let c = bus.load_u16(img + 2 * i) as i16 as i32 / 16;
+                            bus.store_u16(coef + 2 * zz, ((c * q) & 0xffff) as u16);
+                            bus.compute(4);
+                        }
+                        dct2d(bus, coef, true);
+                    }
+                }
+                checksum_region(bus, l.coeffs, self.blocks * 32)
+            }
+        }
+    };
+}
+
+jpeg_workload!(
+    JpegEncode,
+    "jpegencode",
+    true,
+    "MediaBench `jpegencode`: forward DCT + quantisation + zigzag."
+);
+jpeg_workload!(
+    JpegDecode,
+    "jpegdecode",
+    false,
+    "MediaBench `jpegdecode`: dezigzag + dequantisation + inverse DCT."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+
+    #[test]
+    fn encode_properties() {
+        check_workload(JpegEncode::small(), JpegEncode::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn decode_properties() {
+        check_workload(JpegDecode::small(), JpegDecode::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for z in ZIGZAG {
+            assert!(!seen[z as usize]);
+            seen[z as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn dct_roundtrip_preserves_dc_energy() {
+        // A constant block transforms to a DC-dominated spectrum and
+        // back to roughly the same constant.
+        let mut v = [100i32; 8];
+        dct8(&mut v, false);
+        assert!(v[0] > 0, "DC term positive");
+        assert!(v[1].abs() < v[0]);
+        dct8(&mut v, true);
+        for x in v {
+            assert!((x - 100).abs() <= 110, "got {x}");
+        }
+    }
+}

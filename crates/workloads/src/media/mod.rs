@@ -1,0 +1,21 @@
+//! MediaBench-style kernels (the paper's first 15 applications).
+
+mod adpcm;
+mod epic;
+mod g721;
+mod gsm;
+mod jpeg;
+mod mpeg2;
+mod pegwit;
+mod sha;
+mod susan;
+
+pub use adpcm::{AdpcmDecode, AdpcmEncode};
+pub use epic::Epic;
+pub use g721::{G721Decode, G721Encode};
+pub use gsm::{GsmDecode, GsmEncode};
+pub use jpeg::{JpegDecode, JpegEncode};
+pub use mpeg2::{Mpeg2Decode, Mpeg2Encode};
+pub use pegwit::PegwitDecrypt;
+pub use sha::Sha;
+pub use susan::{SusanCorners, SusanEdges};

@@ -1,0 +1,272 @@
+//! MPEG-2 motion kernels (MediaBench `mpeg2encode` / `mpeg2decode`).
+//!
+//! The dominant loops of an MPEG-2 encoder and decoder are,
+//! respectively, block-matching motion *estimation* (SAD search over a
+//! window in the reference frame) and motion *compensation*
+//! (prediction copy + residual add). This kernel implements both over
+//! 16×16 macroblocks of an 8-bit frame pair in simulated memory.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+const MB: u32 = 16;
+/// Motion search radius (±4 pixels, full search).
+const RADIUS: i32 = 4;
+
+/// Frame geometry: `mbw × mbh` macroblocks.
+#[derive(Debug, Clone, Copy)]
+struct Geom {
+    mbw: u32,
+    mbh: u32,
+}
+
+impl Geom {
+    fn width(&self) -> u32 {
+        self.mbw * MB
+    }
+    fn height(&self) -> u32 {
+        self.mbh * MB
+    }
+    fn frame_bytes(&self) -> u32 {
+        self.width() * self.height()
+    }
+}
+
+struct Layout {
+    reference: u32,
+    current: u32,
+    output: u32,
+    vectors: u32,
+    total: u32,
+}
+
+fn layout(g: Geom) -> Layout {
+    let mut a = Alloc::new();
+    let reference = a.array(g.frame_bytes());
+    let current = a.array(g.frame_bytes());
+    let output = a.array(g.frame_bytes());
+    let vectors = a.array(g.mbw * g.mbh * 4);
+    Layout {
+        reference,
+        current,
+        output,
+        vectors,
+        total: a.used(),
+    }
+}
+
+fn init_frames(bus: &mut dyn Bus, g: Geom, l: &Layout, seed: u64) {
+    let mut rng = SplitMix64::new(seed);
+    for y in 0..g.height() {
+        for x in 0..g.width() {
+            let v = ((x * 3 + y * 5) % 223) as u32 + (rng.next_u32() & 7);
+            bus.store_u8(l.reference + y * g.width() + x, v as u8);
+        }
+    }
+    // The current frame is the reference shifted by a "true" global
+    // motion of (+2, +1) plus noise, so the estimator has something
+    // meaningful to find.
+    for y in 0..g.height() {
+        for x in 0..g.width() {
+            let sx = (x + 2).min(g.width() - 1);
+            let sy = (y + 1).min(g.height() - 1);
+            let v = bus.load_u8(l.reference + sy * g.width() + sx);
+            let noisy = v.wrapping_add((rng.next_u32() & 3) as u8);
+            bus.store_u8(l.current + y * g.width() + x, noisy);
+        }
+    }
+}
+
+/// Sum of absolute differences between the macroblock at `(bx, by)` of
+/// the current frame and the reference block displaced by `(dx, dy)`.
+fn sad(bus: &mut dyn Bus, g: Geom, l: &Layout, bx: u32, by: u32, dx: i32, dy: i32) -> u32 {
+    let mut acc = 0u32;
+    for y in 0..MB {
+        for x in 0..MB {
+            let cx = bx * MB + x;
+            let cy = by * MB + y;
+            let rx = (cx as i32 + dx).clamp(0, g.width() as i32 - 1) as u32;
+            let ry = (cy as i32 + dy).clamp(0, g.height() as i32 - 1) as u32;
+            let c = bus.load_u8(l.current + cy * g.width() + cx);
+            let r = bus.load_u8(l.reference + ry * g.width() + rx);
+            acc += u32::from(c.abs_diff(r));
+            bus.compute(2);
+        }
+    }
+    acc
+}
+
+macro_rules! mpeg2_workload {
+    ($name:ident, $label:literal, $encode:expr, ($dw:expr, $dh:expr), $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            mbw: u32,
+            mbh: u32,
+        }
+
+        impl $name {
+            /// Kernel over `mbw × mbh` macroblocks.
+            ///
+            /// # Panics
+            ///
+            /// Panics if either dimension is zero.
+            pub fn new(mbw: u32, mbh: u32) -> Self {
+                assert!(mbw > 0 && mbh > 0);
+                Self { mbw, mbh }
+            }
+
+            /// Test-sized instance.
+            pub fn small() -> Self {
+                Self::new(2, 2)
+            }
+
+            /// Instance for `scale`.
+            pub fn with_scale(scale: Scale) -> Self {
+                match scale {
+                    Scale::Small => Self::small(),
+                    Scale::Default => Self::new($dw, $dh),
+                }
+            }
+
+            fn geom(&self) -> Geom {
+                Geom {
+                    mbw: self.mbw,
+                    mbh: self.mbh,
+                }
+            }
+        }
+
+        impl Workload for $name {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn mem_bytes(&self) -> u32 {
+                layout(self.geom()).total
+            }
+
+            fn run(&self, bus: &mut dyn Bus) -> u64 {
+                let g = self.geom();
+                let l = layout(g);
+                init_frames(bus, g, &l, 0x289 + u64::from($encode));
+
+                for by in 0..g.mbh {
+                    for bx in 0..g.mbw {
+                        let mb_ix = by * g.mbw + bx;
+                        if $encode {
+                            // Full-search motion estimation.
+                            let mut best = u32::MAX;
+                            let mut best_v = (0i32, 0i32);
+                            for dy in -RADIUS..=RADIUS {
+                                for dx in -RADIUS..=RADIUS {
+                                    let s = sad(bus, g, &l, bx, by, dx, dy);
+                                    bus.compute(3);
+                                    if s < best {
+                                        best = s;
+                                        best_v = (dx, dy);
+                                    }
+                                }
+                            }
+                            let packed = ((best_v.0 + 16) as u32) << 24
+                                | ((best_v.1 + 16) as u32) << 16
+                                | (best & 0xffff);
+                            bus.store_u32(l.vectors + 4 * mb_ix, packed);
+                        } else {
+                            // Motion compensation with the known global
+                            // vector: prediction copy + residual add.
+                            for y in 0..MB {
+                                for x in 0..MB {
+                                    let cx = bx * MB + x;
+                                    let cy = by * MB + y;
+                                    let rx = (cx + 2).min(g.width() - 1);
+                                    let ry = (cy + 1).min(g.height() - 1);
+                                    let pred =
+                                        bus.load_u8(l.reference + ry * g.width() + rx);
+                                    let cur = bus.load_u8(l.current + cy * g.width() + cx);
+                                    let residual = cur.wrapping_sub(pred);
+                                    let recon = pred.wrapping_add(residual);
+                                    bus.store_u8(l.output + cy * g.width() + cx, recon);
+                                    bus.compute(3);
+                                }
+                            }
+                            bus.store_u32(l.vectors + 4 * mb_ix, mb_ix);
+                        }
+                    }
+                }
+                let tail = if $encode { l.vectors } else { l.output };
+                checksum_region(bus, tail, g.mbw * g.mbh)
+            }
+        }
+    };
+}
+
+mpeg2_workload!(
+    Mpeg2Encode,
+    "mpeg2encode",
+    true,
+    (6, 5),
+    "MediaBench `mpeg2encode`: full-search block-matching motion estimation."
+);
+mpeg2_workload!(
+    Mpeg2Decode,
+    "mpeg2decode",
+    false,
+    (32, 28),
+    "MediaBench `mpeg2decode`: motion compensation + residual reconstruction."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+    use ehsim_mem::FunctionalMem;
+
+    #[test]
+    fn encode_properties() {
+        check_workload(Mpeg2Encode::small(), Mpeg2Encode::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn decode_properties() {
+        check_workload(Mpeg2Decode::small(), Mpeg2Decode::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn estimator_finds_the_planted_motion() {
+        // With a globally shifted frame, most blocks should match at
+        // (+2, +1).
+        let w = Mpeg2Encode::small();
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        let _ = w.run(&mut mem);
+        let g = Geom { mbw: 2, mbh: 2 };
+        let l = layout(g);
+        let mut hits = 0;
+        for i in 0..4u32 {
+            let packed = mem.load_u32(l.vectors + 4 * i);
+            let dx = (packed >> 24) as i32 - 16;
+            let dy = ((packed >> 16) & 0xff) as i32 - 16;
+            if (dx, dy) == (2, 1) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 3, "only {hits}/4 blocks matched the true motion");
+    }
+
+    #[test]
+    fn reconstruction_matches_current_frame() {
+        let w = Mpeg2Decode::small();
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        let _ = w.run(&mut mem);
+        let g = Geom { mbw: 2, mbh: 2 };
+        let l = layout(g);
+        for i in (0..g.frame_bytes()).step_by(97) {
+            assert_eq!(
+                mem.load_u8(l.output + i),
+                mem.load_u8(l.current + i),
+                "pred + residual must reconstruct exactly"
+            );
+        }
+    }
+}

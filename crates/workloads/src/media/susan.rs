@@ -1,0 +1,227 @@
+//! SUSAN corner and edge detection (MediaBench/MiBench `susancorners` /
+//! `susanedges`).
+//!
+//! SUSAN slides a 37-pixel circular mask over the image; each
+//! neighbour's brightness similarity to the nucleus is looked up in a
+//! precomputed table and summed into the USAN area, which is compared
+//! against the geometric threshold (three quarters of the max area for
+//! edges, half for corners). This kernel implements that faithfully: the
+//! similarity LUT lives in simulated memory, and the mask walk produces
+//! SUSAN's characteristic multi-row access pattern.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+/// Offsets of the 37-pixel circular mask (radius ≈ 3.4).
+const MASK: [(i32, i32); 37] = [
+    (-1, -3), (0, -3), (1, -3),
+    (-2, -2), (-1, -2), (0, -2), (1, -2), (2, -2),
+    (-3, -1), (-2, -1), (-1, -1), (0, -1), (1, -1), (2, -1), (3, -1),
+    (-3, 0), (-2, 0), (-1, 0), (0, 0), (1, 0), (2, 0), (3, 0),
+    (-3, 1), (-2, 1), (-1, 1), (0, 1), (1, 1), (2, 1), (3, 1),
+    (-2, 2), (-1, 2), (0, 2), (1, 2), (2, 2),
+    (-1, 3), (0, 3), (1, 3),
+];
+
+/// Brightness-difference threshold of the similarity function.
+const BT: i32 = 20;
+
+struct Layout {
+    lut: u32,
+    image: u32,
+    response: u32,
+    total: u32,
+}
+
+fn layout(w: u32, h: u32) -> Layout {
+    let mut a = Alloc::new();
+    let lut = a.array(512);
+    let image = a.array(w * h);
+    let response = a.array(w * h * 2);
+    Layout {
+        lut,
+        image,
+        response,
+        total: a.used(),
+    }
+}
+
+fn init(bus: &mut dyn Bus, l: &Layout, w: u32, h: u32, seed: u64) {
+    // Similarity LUT: exp-like falloff of |Δbrightness|, as in SUSAN's
+    // `setup_brightness_lut` (values 0–100).
+    for d in 0..512i32 {
+        let diff = d - 256;
+        let x = (diff * diff) / (BT * BT / 4).max(1);
+        let sim = (100 / (1 + x)) as u8;
+        bus.store_u8(l.lut + d as u32, sim);
+    }
+    // Test card: flat regions, a vertical edge, a corner and noise.
+    let mut rng = SplitMix64::new(seed);
+    for y in 0..h {
+        for x in 0..w {
+            let mut v: u32 = if x > w / 2 { 180 } else { 60 };
+            if x > w / 3 && y > h / 2 {
+                v = 220;
+            }
+            v += rng.next_u32() & 7;
+            bus.store_u8(l.image + y * w + x, v as u8);
+        }
+    }
+}
+
+fn usan_pass(
+    bus: &mut dyn Bus,
+    l: &Layout,
+    w: u32,
+    h: u32,
+    corners: bool,
+) -> u64 {
+    // Max USAN = 37 neighbours × 100 similarity. SUSAN's geometric
+    // thresholds: half the maximum for corners, three quarters for
+    // edges.
+    let geometric_threshold: i32 = if corners {
+        37 * 100 / 2
+    } else {
+        37 * 100 * 3 / 4
+    };
+    for y in 3..h - 3 {
+        for x in 3..w - 3 {
+            let nucleus = i32::from(bus.load_u8(l.image + y * w + x));
+            let mut usan = 0i32;
+            for (dx, dy) in MASK {
+                let nx = (x as i32 + dx) as u32;
+                let ny = (y as i32 + dy) as u32;
+                let p = i32::from(bus.load_u8(l.image + ny * w + nx));
+                let sim = i32::from(bus.load_u8(l.lut + (p - nucleus + 256) as u32));
+                usan += sim;
+                bus.compute(3);
+            }
+            let response = (geometric_threshold - usan).max(0);
+            bus.store_u16(l.response + 2 * (y * w + x), response as u16);
+            bus.compute(2);
+        }
+    }
+    // Non-maximum suppression along rows, then fold.
+    let mut hits: u64 = 0;
+    for y in 4..h - 4 {
+        for x in 4..w - 4 {
+            let c = bus.load_u16(l.response + 2 * (y * w + x));
+            let left = bus.load_u16(l.response + 2 * (y * w + x - 1));
+            let right = bus.load_u16(l.response + 2 * (y * w + x + 1));
+            if c > 0 && c >= left && c > right {
+                hits += 1;
+            }
+            bus.compute(3);
+        }
+    }
+    checksum_region(bus, l.response, w * h / 2) ^ (hits << 32)
+}
+
+macro_rules! susan_workload {
+    ($name:ident, $label:literal, $corners:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            w: u32,
+            h: u32,
+        }
+
+        impl $name {
+            /// Detector over a `w × h` 8-bit image.
+            ///
+            /// # Panics
+            ///
+            /// Panics if either dimension is below 16.
+            pub fn new(w: u32, h: u32) -> Self {
+                assert!(w >= 16 && h >= 16);
+                Self { w, h }
+            }
+
+            /// Test-sized instance.
+            pub fn small() -> Self {
+                Self::new(32, 24)
+            }
+
+            /// Instance for `scale`.
+            pub fn with_scale(scale: Scale) -> Self {
+                match scale {
+                    Scale::Small => Self::small(),
+                    Scale::Default => Self::new(128, 96),
+                }
+            }
+        }
+
+        impl Workload for $name {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn mem_bytes(&self) -> u32 {
+                layout(self.w, self.h).total
+            }
+
+            fn run(&self, bus: &mut dyn Bus) -> u64 {
+                let l = layout(self.w, self.h);
+                init(bus, &l, self.w, self.h, 0x5a5a ^ u64::from($corners));
+                usan_pass(bus, &l, self.w, self.h, $corners)
+            }
+        }
+    };
+}
+
+susan_workload!(
+    SusanCorners,
+    "susancorners",
+    true,
+    "MediaBench `susancorners`: SUSAN corner detection (half-area threshold)."
+);
+susan_workload!(
+    SusanEdges,
+    "susanedges",
+    false,
+    "MediaBench `susanedges`: SUSAN edge detection (three-quarter-area threshold)."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+    use ehsim_mem::FunctionalMem;
+
+    #[test]
+    fn corners_properties() {
+        check_workload(
+            SusanCorners::small(),
+            SusanCorners::with_scale(Scale::Default),
+        );
+    }
+
+    #[test]
+    fn edges_properties() {
+        check_workload(SusanEdges::small(), SusanEdges::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn mask_has_37_pixels_and_is_symmetric() {
+        assert_eq!(MASK.len(), 37);
+        for (dx, dy) in MASK {
+            assert!(
+                MASK.contains(&(-dx, -dy)),
+                "mask not centro-symmetric at ({dx},{dy})"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_detector_fires_on_the_vertical_edge() {
+        let w = SusanEdges::small();
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        let _ = w.run(&mut mem);
+        let l = layout(32, 24);
+        // Response near the x = w/2 edge should exceed the flat region.
+        let edge = mem.load_u16(l.response + 2 * (10 * 32 + 16));
+        let flat = mem.load_u16(l.response + 2 * (4 * 32 + 8));
+        assert!(edge > flat, "edge {edge} vs flat {flat}");
+    }
+}

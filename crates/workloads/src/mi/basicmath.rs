@@ -1,0 +1,161 @@
+//! MiBench `basicmath`: cube roots, integer square roots and angle
+//! conversions.
+//!
+//! MiBench's automotive `basicmath` solves cubics, takes integer square
+//! roots and converts degrees to radians in long scalar loops with very
+//! light memory traffic — the suite's most compute-bound member. This
+//! kernel does the same in fixed point: Newton cube roots, bitwise
+//! integer square roots and Q16 angle conversion, storing each result
+//! to an output table.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+/// MiBench `basicmath`.
+#[derive(Debug, Clone)]
+pub struct BasicMath {
+    iterations: u32,
+}
+
+impl BasicMath {
+    /// Runs `iterations` of each solver family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations == 0`.
+    pub fn new(iterations: u32) -> Self {
+        assert!(iterations > 0);
+        Self { iterations }
+    }
+
+    /// Test-sized instance.
+    pub fn small() -> Self {
+        Self::new(600)
+    }
+
+    /// Instance for `scale`.
+    pub fn with_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => Self::small(),
+            Scale::Default => Self::new(20_000),
+        }
+    }
+}
+
+/// Bitwise integer square root.
+fn isqrt(x: u64) -> u32 {
+    let mut op = x;
+    let mut res = 0u64;
+    let mut one = 1u64 << 62;
+    while one > op {
+        one >>= 2;
+    }
+    while one != 0 {
+        if op >= res + one {
+            op -= res + one;
+            res = (res >> 1) + one;
+        } else {
+            res >>= 1;
+        }
+        one >>= 2;
+    }
+    res as u32
+}
+
+/// Newton iteration cube root of a Q0 integer, rounded-down integer
+/// result. Internally y is kept in Q8: y³ (Q24) must match `x << 24`.
+fn cbrt_q8(x: i64) -> i64 {
+    if x == 0 {
+        return 0;
+    }
+    let neg = x < 0;
+    let target = x.abs() << 24;
+    let mut y: i64 = 1 << 8;
+    for _ in 0..40 {
+        let y2 = (y * y).max(1);
+        y = (2 * y + target / y2) / 3;
+    }
+    let r = y >> 8;
+    if neg {
+        -r
+    } else {
+        r
+    }
+}
+
+/// Degrees → radians in Q16 (π = 205887/65536).
+fn deg_to_rad_q16(deg: i32) -> i64 {
+    i64::from(deg) * 205_887 / 180
+}
+
+impl Workload for BasicMath {
+    fn name(&self) -> &str {
+        "basicmath"
+    }
+
+    fn mem_bytes(&self) -> u32 {
+        let mut a = Alloc::new();
+        let _out = a.array(self.iterations * 12);
+        a.used()
+    }
+
+    fn run(&self, bus: &mut dyn Bus) -> u64 {
+        let mut a = Alloc::new();
+        let out = a.array(self.iterations * 12);
+        let mut rng = SplitMix64::new(0xba51c);
+        for i in 0..self.iterations {
+            let x = i64::from(rng.next_u32() % 1_000_000) - 500_000;
+            let c = cbrt_q8(x);
+            bus.compute(60);
+            let s = isqrt(u64::from(rng.next_u32()));
+            bus.compute(64);
+            let r = deg_to_rad_q16((i % 720) as i32 - 360);
+            bus.compute(4);
+            bus.store_u32(out + 12 * i, c as u32);
+            bus.store_u32(out + 12 * i + 4, s);
+            bus.store_u32(out + 12 * i + 8, r as u32);
+        }
+        checksum_region(bus, out, self.iterations * 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+
+    #[test]
+    fn basicmath_properties() {
+        check_workload(BasicMath::small(), BasicMath::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn isqrt_exact_on_squares() {
+        for v in [0u64, 1, 4, 9, 144, 1 << 40] {
+            let r = u64::from(isqrt(v));
+            assert_eq!(r * r, v);
+        }
+        assert_eq!(isqrt(8), 2);
+        assert_eq!(isqrt(u64::from(u32::MAX) * u64::from(u32::MAX)), u32::MAX);
+    }
+
+    #[test]
+    fn cbrt_is_roughly_right() {
+        for (x, expect) in [(27i64, 3i64), (1_000, 10), (-8, -2), (0, 0)] {
+            let got = cbrt_q8(x);
+            assert!(
+                (got - expect).abs() <= 1,
+                "cbrt({x}) ≈ {got}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_conversion_landmarks() {
+        // 180° = π ≈ 3.14159 in Q16 ≈ 205887.
+        assert_eq!(deg_to_rad_q16(180), 205_887);
+        assert_eq!(deg_to_rad_q16(0), 0);
+        assert_eq!(deg_to_rad_q16(-180), -205_887);
+    }
+}

@@ -1,0 +1,168 @@
+//! MiBench `dijkstra`: single-source shortest paths on a dense graph.
+//!
+//! MiBench's network `dijkstra` repeatedly scans an adjacency matrix
+//! read from a file. This kernel keeps the same structure: a dense
+//! `n × n` weight matrix, a linear-scan minimum selection (no heap —
+//! as in the original), and distance/visited arrays, all in simulated
+//! memory.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+const INF: u32 = 0x3fff_ffff;
+
+/// MiBench `dijkstra`.
+#[derive(Debug, Clone)]
+pub struct Dijkstra {
+    nodes: u32,
+    sources: u32,
+}
+
+impl Dijkstra {
+    /// Shortest paths from `sources` source nodes on an `nodes`-node
+    /// dense graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2` or `sources == 0`.
+    pub fn new(nodes: u32, sources: u32) -> Self {
+        assert!(nodes >= 2 && sources > 0);
+        Self { nodes, sources }
+    }
+
+    /// Test-sized instance.
+    pub fn small() -> Self {
+        Self::new(32, 4)
+    }
+
+    /// Instance for `scale`.
+    pub fn with_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => Self::small(),
+            Scale::Default => Self::new(128, 24),
+        }
+    }
+}
+
+impl Workload for Dijkstra {
+    fn name(&self) -> &str {
+        "dijkstra"
+    }
+
+    fn mem_bytes(&self) -> u32 {
+        let mut a = Alloc::new();
+        let _adj = a.array(self.nodes * self.nodes * 2);
+        let _dist = a.array(self.nodes * 4);
+        let _visited = a.array(self.nodes);
+        let _result = a.array(self.sources * self.nodes * 4);
+        a.used()
+    }
+
+    fn run(&self, bus: &mut dyn Bus) -> u64 {
+        let mut a = Alloc::new();
+        let adj = a.array(self.nodes * self.nodes * 2);
+        let dist = a.array(self.nodes * 4);
+        let visited = a.array(self.nodes);
+        let result = a.array(self.sources * self.nodes * 4);
+
+        // Random sparse-ish weights: ~30 % of edges present.
+        let mut rng = SplitMix64::new(0xd175u64);
+        for i in 0..self.nodes {
+            for j in 0..self.nodes {
+                let w = if i != j && rng.below(10) < 3 {
+                    1 + (rng.next_u32() % 900) as u32
+                } else {
+                    0xffff // no edge sentinel (u16)
+                };
+                bus.store_u16(adj + 2 * (i * self.nodes + j), w as u16);
+            }
+        }
+
+        for s in 0..self.sources {
+            let src = (s * 7) % self.nodes;
+            for i in 0..self.nodes {
+                bus.store_u32(dist + 4 * i, INF);
+                bus.store_u8(visited + i, 0);
+            }
+            bus.store_u32(dist + 4 * src, 0);
+
+            for _ in 0..self.nodes {
+                // Linear-scan minimum (the MiBench way).
+                let mut best = INF;
+                let mut u = self.nodes;
+                for i in 0..self.nodes {
+                    let v = bus.load_u8(visited + i);
+                    let d = bus.load_u32(dist + 4 * i);
+                    bus.compute(2);
+                    if v == 0 && d < best {
+                        best = d;
+                        u = i;
+                    }
+                }
+                if u == self.nodes {
+                    break;
+                }
+                bus.store_u8(visited + u, 1);
+                // Relax all outgoing edges.
+                for j in 0..self.nodes {
+                    let w = u32::from(bus.load_u16(adj + 2 * (u * self.nodes + j)));
+                    bus.compute(2);
+                    if w == 0xffff {
+                        continue;
+                    }
+                    let dj = bus.load_u32(dist + 4 * j);
+                    if best + w < dj {
+                        bus.store_u32(dist + 4 * j, best + w);
+                    }
+                }
+            }
+            for i in 0..self.nodes {
+                let d = bus.load_u32(dist + 4 * i);
+                bus.store_u32(result + 4 * (s * self.nodes + i), d);
+            }
+        }
+        checksum_region(bus, result, self.sources * self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+    use ehsim_mem::FunctionalMem;
+
+    #[test]
+    fn dijkstra_properties() {
+        check_workload(Dijkstra::small(), Dijkstra::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn source_distance_is_zero_and_triangle_holds() {
+        let w = Dijkstra::small();
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        let _ = w.run(&mut mem);
+        let mut a = Alloc::new();
+        let adj = a.array(32 * 32 * 2);
+        let _dist = a.array(32 * 4);
+        let _vis = a.array(32);
+        let result = a.array(4 * 32 * 4);
+        // Source of the first run is node 0.
+        assert_eq!(mem.load_u32(result), 0);
+        // Triangle inequality: d(j) <= d(i) + w(i,j) for all edges.
+        for i in 0..32u32 {
+            let di = mem.load_u32(result + 4 * i);
+            if di >= INF {
+                continue;
+            }
+            for j in 0..32u32 {
+                let w = u32::from(mem.load_u16(adj + 2 * (i * 32 + j)));
+                if w == 0xffff {
+                    continue;
+                }
+                let dj = mem.load_u32(result + 4 * j);
+                assert!(dj <= di + w, "triangle violated: d({j})={dj} > d({i})+{w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! MiBench `FFT` / `FFT_i`: fixed-point radix-2 FFT and inverse.
+//!
+//! An in-place iterative Cooley–Tukey FFT over Q14 fixed-point
+//! real/imaginary arrays in simulated memory, with the classic
+//! bit-reversal permutation (scattered stores) and per-stage butterfly
+//! sweeps (strided loads) that make FFT a staple cache workload. The
+//! twiddle factors come from an in-memory quarter-wave sine table, as
+//! the MiBench version's `sin`/`cos` calls would after lowering.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+/// Q14 quarter-wave sine table resolution.
+const SINE_POINTS: u32 = 256;
+
+struct Layout {
+    sine: u32,
+    re: u32,
+    im: u32,
+    total: u32,
+}
+
+fn layout(n: u32) -> Layout {
+    let mut a = Alloc::new();
+    let sine = a.array(SINE_POINTS * 2);
+    let re = a.array(n * 4);
+    let im = a.array(n * 4);
+    Layout {
+        sine,
+        re,
+        im,
+        total: a.used(),
+    }
+}
+
+/// Fills the quarter-wave sine table (Q14) using integer Taylor terms.
+fn init_sine(bus: &mut dyn Bus, l: &Layout) {
+    for i in 0..SINE_POINTS {
+        // angle = i/SINE_POINTS * pi/2, computed in Q14 via
+        // x - x^3/6 + x^5/120 (enough for 4-digit accuracy).
+        let x = (i as i64 * 25_736) / i64::from(SINE_POINTS); // pi/2 in Q14 ≈ 25736
+        let x2 = (x * x) >> 14;
+        let x3 = (x2 * x) >> 14;
+        let x5 = (x3 * x2) >> 14;
+        let s = x - x3 / 6 + x5 / 120;
+        bus.store_u16(l.sine + 2 * i, (s.clamp(0, 16_384)) as u16);
+    }
+}
+
+/// Looks up sin(2π·k/n) in Q14 from the quarter-wave table.
+fn sin_q14(bus: &mut dyn Bus, l: &Layout, k: u32, n: u32) -> i32 {
+    let phase = (k % n) as u64 * 4 * u64::from(SINE_POINTS) / u64::from(n);
+    let quadrant = (phase / u64::from(SINE_POINTS)) % 4;
+    let ix = (phase % u64::from(SINE_POINTS)) as u32;
+    let raw = |bus: &mut dyn Bus, i: u32| -> i32 {
+        i32::from(bus.load_u16(l.sine + 2 * i.min(SINE_POINTS - 1)) as i16)
+    };
+    match quadrant {
+        0 => raw(bus, ix),
+        1 => raw(bus, SINE_POINTS - 1 - ix),
+        2 => -raw(bus, ix),
+        _ => -raw(bus, SINE_POINTS - 1 - ix),
+    }
+}
+
+fn cos_q14(bus: &mut dyn Bus, l: &Layout, k: u32, n: u32) -> i32 {
+    sin_q14(bus, l, k + n / 4, n)
+}
+
+/// In-place FFT (or inverse) over the Q14 arrays at `l.re`/`l.im`.
+fn fft_in_place(bus: &mut dyn Bus, l: &Layout, n: u32, inverse: bool) {
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (32 - bits);
+        if j > i {
+            for arr in [l.re, l.im] {
+                let a = bus.load_u32(arr + 4 * i);
+                let b = bus.load_u32(arr + 4 * j);
+                bus.store_u32(arr + 4 * i, b);
+                bus.store_u32(arr + 4 * j, a);
+            }
+            bus.compute(4);
+        }
+    }
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for start in (0..n).step_by(len as usize) {
+            for k in 0..half {
+                let tw = k * (n / len);
+                let mut wr = cos_q14(bus, l, tw, n);
+                let mut wi = -sin_q14(bus, l, tw, n);
+                if inverse {
+                    wi = -wi;
+                }
+                // Scale each stage by 1/2 to prevent overflow.
+                let i0 = start + k;
+                let i1 = start + k + half;
+                let ar = bus.load_u32(l.re + 4 * i0) as i32;
+                let ai = bus.load_u32(l.im + 4 * i0) as i32;
+                let br = bus.load_u32(l.re + 4 * i1) as i32;
+                let bi = bus.load_u32(l.im + 4 * i1) as i32;
+                wr >>= 0;
+                wi >>= 0;
+                let tr = ((i64::from(br) * i64::from(wr) - i64::from(bi) * i64::from(wi))
+                    >> 14) as i32;
+                let ti = ((i64::from(br) * i64::from(wi) + i64::from(bi) * i64::from(wr))
+                    >> 14) as i32;
+                bus.store_u32(l.re + 4 * i0, ((ar + tr) >> 1) as u32);
+                bus.store_u32(l.im + 4 * i0, ((ai + ti) >> 1) as u32);
+                bus.store_u32(l.re + 4 * i1, ((ar - tr) >> 1) as u32);
+                bus.store_u32(l.im + 4 * i1, ((ai - ti) >> 1) as u32);
+                bus.compute(10);
+            }
+        }
+        len *= 2;
+    }
+}
+
+macro_rules! fft_workload {
+    ($name:ident, $label:literal, $inverse:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            n: u32,
+            rounds: u32,
+        }
+
+        impl $name {
+            /// Transforms `rounds` buffers of `n` points each.
+            ///
+            /// # Panics
+            ///
+            /// Panics unless `n` is a power of two ≥ 8 and
+            /// `rounds > 0`.
+            pub fn new(n: u32, rounds: u32) -> Self {
+                assert!(n.is_power_of_two() && n >= 8 && rounds > 0);
+                Self { n, rounds }
+            }
+
+            /// Test-sized instance.
+            pub fn small() -> Self {
+                Self::new(256, 1)
+            }
+
+            /// Instance for `scale`.
+            pub fn with_scale(scale: Scale) -> Self {
+                match scale {
+                    Scale::Small => Self::small(),
+                    Scale::Default => Self::new(2_048, 3),
+                }
+            }
+        }
+
+        impl Workload for $name {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn mem_bytes(&self) -> u32 {
+                layout(self.n).total
+            }
+
+            fn run(&self, bus: &mut dyn Bus) -> u64 {
+                let l = layout(self.n);
+                init_sine(bus, &l);
+                let mut acc = 0u64;
+                for round in 0..self.rounds {
+                    let mut rng = SplitMix64::new(0xff7 + u64::from(round));
+                    for i in 0..self.n {
+                        // Q14 samples in [-1, 1): two tones + noise.
+                        let tone = sin_q14(bus, &l, (i * (3 + round)) % self.n, self.n) / 2
+                            + sin_q14(bus, &l, (i * 17) % self.n, self.n) / 4;
+                        let noise = (rng.next_u32() & 0xff) as i32 - 128;
+                        bus.store_u32(l.re + 4 * i, (tone + noise) as u32);
+                        bus.store_u32(l.im + 4 * i, 0);
+                    }
+                    fft_in_place(bus, &l, self.n, $inverse);
+                    if $inverse {
+                        // The inverse benchmark also applies a forward
+                        // pass first (spectrum → time), as MiBench's
+                        // `fft -i` round-trips.
+                        fft_in_place(bus, &l, self.n, false);
+                    }
+                    acc ^= checksum_region(bus, l.re, self.n).rotate_left(round);
+                }
+                acc
+            }
+        }
+    };
+}
+
+fft_workload!(
+    Fft,
+    "FFT",
+    false,
+    "MiBench `FFT`: forward fixed-point radix-2 FFT."
+);
+fft_workload!(
+    FftInverse,
+    "FFT_i",
+    true,
+    "MiBench `FFT_i`: inverse (plus forward) fixed-point FFT round."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+    use ehsim_mem::FunctionalMem;
+
+    #[test]
+    fn fft_properties() {
+        check_workload(Fft::small(), Fft::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn ifft_properties() {
+        check_workload(FftInverse::small(), FftInverse::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn sine_table_landmarks() {
+        let mut mem = FunctionalMem::new(4096);
+        let l = layout(8);
+        init_sine(&mut mem, &l);
+        // sin(0) = 0.
+        assert_eq!(sin_q14(&mut mem, &l, 0, 1024), 0);
+        // sin(pi/2) = 1 in Q14 (±1 %).
+        let s = sin_q14(&mut mem, &l, 256, 1024);
+        assert!((s - 16_384).abs() < 200, "sin(pi/2) = {s}");
+        // sin(-x) symmetry via 3rd quadrant.
+        let a = sin_q14(&mut mem, &l, 100, 1024);
+        let b = sin_q14(&mut mem, &l, 512 + 100, 1024);
+        assert_eq!(a, -b);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        // FFT of a delta at 0 is constant across bins (up to the
+        // per-stage scaling).
+        let mut mem = FunctionalMem::new(layout(64).total);
+        let l = layout(64);
+        init_sine(&mut mem, &l);
+        mem.store_u32(l.re, 8_192);
+        for i in 1..64u32 {
+            mem.store_u32(l.re + 4 * i, 0);
+        }
+        for i in 0..64u32 {
+            mem.store_u32(l.im + 4 * i, 0);
+        }
+        fft_in_place(&mut mem, &l, 64, false);
+        let first = mem.load_u32(l.re) as i32;
+        assert!(first != 0);
+        for i in 0..64u32 {
+            let re = mem.load_u32(l.re + 4 * i) as i32;
+            assert!((re - first).abs() <= 2, "bin {i}: {re} vs {first}");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! MiBench-style kernels (the paper's last 8 applications).
+
+mod basicmath;
+mod dijkstra;
+mod fft;
+mod patricia;
+mod qsort;
+mod rijndael;
+
+pub use basicmath::BasicMath;
+pub use dijkstra::Dijkstra;
+pub use fft::{Fft, FftInverse};
+pub use patricia::Patricia;
+pub use qsort::Qsort;
+pub use rijndael::{RijndaelDecrypt, RijndaelEncrypt};

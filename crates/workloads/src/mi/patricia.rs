@@ -1,0 +1,253 @@
+//! MiBench `patricia`: Patricia trie routing-table lookups.
+//!
+//! MiBench's network `patricia` inserts IP prefixes into a Patricia
+//! (radix) trie and then resolves lookups — dominated by pointer
+//! chasing through nodes scattered across memory. This kernel builds a
+//! genuine bit-indexed Patricia trie in a node pool in simulated memory
+//! (node = bit index, left/right child indices, stored key) and runs a
+//! mixed insert/lookup stream of IPv4-like keys.
+
+use crate::util::{Alloc, Checksum, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+/// Node record: `bit (u32) | left (u32) | right (u32) | key (u32)`.
+const NODE_BYTES: u32 = 16;
+
+struct Pool {
+    base: u32,
+    count: u32,
+    capacity: u32,
+}
+
+impl Pool {
+    fn node(&self, ix: u32) -> u32 {
+        self.base + ix * NODE_BYTES
+    }
+
+    fn alloc(&mut self, bus: &mut dyn Bus, bit: u32, key: u32) -> u32 {
+        assert!(self.count < self.capacity, "patricia node pool exhausted");
+        let ix = self.count;
+        self.count += 1;
+        let n = self.node(ix);
+        bus.store_u32(n, bit);
+        bus.store_u32(n + 4, ix); // self-loop children initially
+        bus.store_u32(n + 8, ix);
+        bus.store_u32(n + 12, key);
+        ix
+    }
+}
+
+fn bit_of(key: u32, bit: u32) -> u32 {
+    if bit >= 32 {
+        0
+    } else {
+        (key >> (31 - bit)) & 1
+    }
+}
+
+/// Walks the trie from the head following `key`'s bits until a back
+/// edge (upward bit index) is taken; returns the landing node index.
+fn search(bus: &mut dyn Bus, pool: &Pool, head: u32, key: u32) -> u32 {
+    let mut parent = head;
+    let mut current = {
+        let b = bus.load_u32(pool.node(head));
+        if bit_of(key, b) == 1 {
+            bus.load_u32(pool.node(head) + 8)
+        } else {
+            bus.load_u32(pool.node(head) + 4)
+        }
+    };
+    loop {
+        let pb = bus.load_u32(pool.node(parent));
+        let cb = bus.load_u32(pool.node(current));
+        bus.compute(4);
+        if cb <= pb {
+            return current; // back edge: reached a leaf reference
+        }
+        parent = current;
+        current = if bit_of(key, cb) == 1 {
+            bus.load_u32(pool.node(current) + 8)
+        } else {
+            bus.load_u32(pool.node(current) + 4)
+        };
+    }
+}
+
+/// Inserts `key`, returning `true` if it was new.
+fn insert(bus: &mut dyn Bus, pool: &mut Pool, head: u32, key: u32) -> bool {
+    let found = search(bus, pool, head, key);
+    let found_key = bus.load_u32(pool.node(found) + 12);
+    if found_key == key {
+        return false;
+    }
+    // First differing bit between key and found_key.
+    let diff = key ^ found_key;
+    let bit = diff.leading_zeros();
+    bus.compute(4);
+
+    let new_ix = pool.alloc(bus, bit, key);
+
+    // Re-walk from the head, stopping where the new bit index fits.
+    let mut parent = head;
+    let mut current = {
+        let b = bus.load_u32(pool.node(head));
+        if bit_of(key, b) == 1 {
+            bus.load_u32(pool.node(head) + 8)
+        } else {
+            bus.load_u32(pool.node(head) + 4)
+        }
+    };
+    loop {
+        let pb = bus.load_u32(pool.node(parent));
+        let cb = bus.load_u32(pool.node(current));
+        bus.compute(4);
+        if cb <= pb || cb > bit {
+            break;
+        }
+        parent = current;
+        current = if bit_of(key, cb) == 1 {
+            bus.load_u32(pool.node(current) + 8)
+        } else {
+            bus.load_u32(pool.node(current) + 4)
+        };
+    }
+
+    // Wire the new node between parent and current.
+    if bit_of(key, bit) == 1 {
+        bus.store_u32(pool.node(new_ix) + 8, new_ix);
+        bus.store_u32(pool.node(new_ix) + 4, current);
+    } else {
+        bus.store_u32(pool.node(new_ix) + 4, new_ix);
+        bus.store_u32(pool.node(new_ix) + 8, current);
+    }
+    let pb = bus.load_u32(pool.node(parent));
+    if bit_of(key, pb) == 1 {
+        bus.store_u32(pool.node(parent) + 8, new_ix);
+    } else {
+        bus.store_u32(pool.node(parent) + 4, new_ix);
+    }
+    true
+}
+
+/// MiBench `patricia`.
+#[derive(Debug, Clone)]
+pub struct Patricia {
+    inserts: u32,
+    lookups: u32,
+}
+
+impl Patricia {
+    /// Inserts `inserts` keys then performs `lookups` lookups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inserts == 0`.
+    pub fn new(inserts: u32, lookups: u32) -> Self {
+        assert!(inserts > 0);
+        Self { inserts, lookups }
+    }
+
+    /// Test-sized instance.
+    pub fn small() -> Self {
+        Self::new(400, 1_200)
+    }
+
+    /// Instance for `scale`.
+    pub fn with_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => Self::small(),
+            Scale::Default => Self::new(4_000, 24_000),
+        }
+    }
+}
+
+impl Workload for Patricia {
+    fn name(&self) -> &str {
+        "patricia"
+    }
+
+    fn mem_bytes(&self) -> u32 {
+        let mut a = Alloc::new();
+        let _pool = a.array((self.inserts + 2) * NODE_BYTES);
+        a.used()
+    }
+
+    fn run(&self, bus: &mut dyn Bus) -> u64 {
+        let mut a = Alloc::new();
+        let base = a.array((self.inserts + 2) * NODE_BYTES);
+        let mut pool = Pool {
+            base,
+            count: 0,
+            capacity: self.inserts + 2,
+        };
+        // Head node: bit 0, key 0 (all-zeros sentinel route).
+        let head = pool.alloc(bus, 0, 0);
+
+        // Insert a routing-table-like key mix: clustered /16 prefixes
+        // with random hosts.
+        let mut rng = SplitMix64::new(0x9a77);
+        let mut inserted = 0u64;
+        for i in 0..self.inserts {
+            let prefix = (10u32 + (i % 40)) << 24 | (rng.below(64)) << 16;
+            let key = prefix | rng.below(1 << 16);
+            if insert(bus, &mut pool, head, key) {
+                inserted += 1;
+            }
+        }
+
+        // Lookup stream: 75 % hits (replayed inserts), 25 % misses.
+        let mut c = Checksum::new();
+        let mut replay = SplitMix64::new(0x9a77);
+        for i in 0..self.lookups {
+            let key = if i % 4 != 3 {
+                let prefix = (10u32 + (i % 40)) << 24 | (replay.below(64)) << 16;
+                prefix | replay.below(1 << 16)
+            } else {
+                rng.next_u32()
+            };
+            let found = search(bus, &pool, head, key);
+            let fkey = bus.load_u32(pool.node(found) + 12);
+            c.push(u64::from(fkey == key));
+            c.push(u64::from(fkey >> 24));
+        }
+        c.push(inserted);
+        c.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+    use ehsim_mem::FunctionalMem;
+
+    #[test]
+    fn patricia_properties() {
+        check_workload(Patricia::small(), Patricia::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn inserted_keys_are_found() {
+        let mut mem = FunctionalMem::new(64 * NODE_BYTES + 64);
+        let mut pool = Pool {
+            base: 0,
+            count: 0,
+            capacity: 64,
+        };
+        let head = pool.alloc(&mut mem, 0, 0);
+        let keys = [0xc0a8_0001u32, 0xc0a8_0002, 0x0a00_0001, 0xffff_ffff, 0x1];
+        for k in keys {
+            assert!(insert(&mut mem, &mut pool, head, k), "insert {k:#x}");
+        }
+        for k in keys {
+            let f = search(&mut mem, &pool, head, k);
+            assert_eq!(mem.load_u32(pool.node(f) + 12), k, "lookup {k:#x}");
+        }
+        // Duplicate insert is rejected.
+        assert!(!insert(&mut mem, &mut pool, head, keys[0]));
+        // A missing key lands on some other node.
+        let f = search(&mut mem, &pool, head, 0xdead_beef);
+        assert_ne!(mem.load_u32(pool.node(f) + 12), 0xdead_beef);
+    }
+}

@@ -1,0 +1,187 @@
+//! MiBench `qsort`: in-memory iterative quicksort.
+//!
+//! The array *and* the recursion stack live in simulated memory, so the
+//! kernel produces quicksort's signature mix: streaming partition scans
+//! with data-dependent swap stores, plus stack pushes/pops — one of the
+//! most store-dense kernels in the suite.
+
+use crate::util::{checksum_region, Alloc, SplitMix64};
+use crate::Scale;
+use ehsim_mem::{Bus, Workload};
+
+/// MiBench `qsort`.
+#[derive(Debug, Clone)]
+pub struct Qsort {
+    elements: u32,
+}
+
+impl Qsort {
+    /// Sorts `elements` 32-bit keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elements < 2`.
+    pub fn new(elements: u32) -> Self {
+        assert!(elements >= 2);
+        Self { elements }
+    }
+
+    /// Test-sized instance.
+    pub fn small() -> Self {
+        Self::new(1_024)
+    }
+
+    /// Instance for `scale`.
+    pub fn with_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Small => Self::small(),
+            Scale::Default => Self::new(40_000),
+        }
+    }
+}
+
+impl Workload for Qsort {
+    fn name(&self) -> &str {
+        "qsort"
+    }
+
+    fn mem_bytes(&self) -> u32 {
+        let mut a = Alloc::new();
+        let _data = a.array(self.elements * 4);
+        let _stack = a.array(64 * 8);
+        a.used()
+    }
+
+    fn run(&self, bus: &mut dyn Bus) -> u64 {
+        let mut a = Alloc::new();
+        let data = a.array(self.elements * 4);
+        let stack = a.array(64 * 8);
+
+        let mut rng = SplitMix64::new(0x9504);
+        for i in 0..self.elements {
+            bus.store_u32(data + 4 * i, rng.next_u32());
+        }
+
+        // Explicit stack of (lo, hi) ranges, in memory.
+        let mut sp: u32 = 0;
+        let push = |bus: &mut dyn Bus, sp: &mut u32, lo: u32, hi: u32| {
+            bus.store_u32(stack + 8 * *sp, lo);
+            bus.store_u32(stack + 8 * *sp + 4, hi);
+            *sp += 1;
+            assert!(*sp < 64, "quicksort stack overflow");
+        };
+        push(bus, &mut sp, 0, self.elements - 1);
+
+        while sp > 0 {
+            sp -= 1;
+            let lo = bus.load_u32(stack + 8 * sp);
+            let hi = bus.load_u32(stack + 8 * sp + 4);
+            if lo >= hi {
+                continue;
+            }
+            // Insertion sort for tiny ranges, like the C library does.
+            if hi - lo < 8 {
+                for i in lo + 1..=hi {
+                    let key = bus.load_u32(data + 4 * i);
+                    let mut j = i;
+                    while j > lo {
+                        let prev = bus.load_u32(data + 4 * (j - 1));
+                        bus.compute(2);
+                        if prev <= key {
+                            break;
+                        }
+                        bus.store_u32(data + 4 * j, prev);
+                        j -= 1;
+                    }
+                    bus.store_u32(data + 4 * j, key);
+                }
+                continue;
+            }
+            // Median-of-three pivot.
+            let mid = lo + (hi - lo) / 2;
+            let (a0, a1, a2) = (
+                bus.load_u32(data + 4 * lo),
+                bus.load_u32(data + 4 * mid),
+                bus.load_u32(data + 4 * hi),
+            );
+            let pivot = a0.max(a1.min(a2)).min(a1.max(a2.min(a0)));
+            bus.compute(6);
+
+            // Hoare partition.
+            let mut i = lo;
+            let mut j = hi;
+            loop {
+                while bus.load_u32(data + 4 * i) < pivot {
+                    i += 1;
+                    bus.compute(2);
+                }
+                while bus.load_u32(data + 4 * j) > pivot {
+                    j -= 1;
+                    bus.compute(2);
+                }
+                if i >= j {
+                    break;
+                }
+                let vi = bus.load_u32(data + 4 * i);
+                let vj = bus.load_u32(data + 4 * j);
+                bus.store_u32(data + 4 * i, vj);
+                bus.store_u32(data + 4 * j, vi);
+                i += 1;
+                j -= 1;
+                bus.compute(2);
+            }
+            push(bus, &mut sp, lo, j);
+            push(bus, &mut sp, j + 1, hi);
+        }
+        checksum_region(bus, data, self.elements.min(4_096))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::test_support::check_workload;
+    use ehsim_mem::FunctionalMem;
+
+    #[test]
+    fn qsort_properties() {
+        check_workload(Qsort::small(), Qsort::with_scale(Scale::Default));
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let w = Qsort::small();
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        let _ = w.run(&mut mem);
+        let mut prev = 0u32;
+        for i in 0..1_024u32 {
+            let v = mem.load_u32(4 * i);
+            assert!(v >= prev, "unsorted at index {i}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn sorting_preserves_multiset() {
+        // XOR and sum of elements are permutation-invariant.
+        let w = Qsort::new(512);
+        let mut rng = SplitMix64::new(0x9504);
+        let mut xor = 0u32;
+        let mut sum = 0u64;
+        for _ in 0..512 {
+            let v = rng.next_u32();
+            xor ^= v;
+            sum = sum.wrapping_add(u64::from(v));
+        }
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        let _ = w.run(&mut mem);
+        let mut xor2 = 0u32;
+        let mut sum2 = 0u64;
+        for i in 0..512u32 {
+            let v = mem.load_u32(4 * i);
+            xor2 ^= v;
+            sum2 = sum2.wrapping_add(u64::from(v));
+        }
+        assert_eq!((xor, sum), (xor2, sum2));
+    }
+}

@@ -1,0 +1,218 @@
+//! Shared kernel infrastructure: deterministic data generation, a bump
+//! allocator for the per-workload address space, and checksum folding.
+
+use ehsim_mem::Bus;
+
+/// SplitMix64: a tiny, high-quality deterministic generator used to
+/// synthesise input data (PCM samples, images, graphs, keys) without
+/// pulling `rand` into the hot path.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0);
+        (self.next_u64() % u64::from(bound)) as u32
+    }
+
+    /// A smooth-ish 16-bit PCM sample stream (sum of two "sine-like"
+    /// triangle waves plus noise), suitable for codec kernels.
+    pub fn pcm_sample(&mut self, t: u32) -> i16 {
+        let tri = |p: u32, period: u32, amp: i32| -> i32 {
+            let x = (p % period) as i32;
+            let half = (period / 2) as i32;
+            amp * (half - (x - half).abs()) / half
+        };
+        let noise = (self.next_u32() & 0x3f) as i32 - 32;
+        (tri(t, 97, 9_000) + tri(t, 389, 14_000) + noise) as i16
+    }
+}
+
+/// Bump allocator carving a workload's flat address space into
+/// line-aligned arrays.
+#[derive(Debug, Clone)]
+pub struct Alloc {
+    next: u32,
+}
+
+impl Alloc {
+    /// Starts allocating at address 0.
+    pub fn new() -> Self {
+        Self { next: 0 }
+    }
+
+    /// Reserves `bytes` bytes, aligned to a 64 B cache line, and returns
+    /// the base address.
+    pub fn array(&mut self, bytes: u32) -> u32 {
+        let base = self.next;
+        self.next = (base + bytes + 63) & !63;
+        base
+    }
+
+    /// Total bytes reserved so far (rounded to whole lines).
+    pub fn used(&self) -> u32 {
+        self.next
+    }
+}
+
+impl Default for Alloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a accumulator for folding outputs into a `u64` checksum.
+#[derive(Debug, Clone)]
+pub struct Checksum {
+    hash: u64,
+}
+
+impl Checksum {
+    /// Creates a fresh accumulator.
+    pub fn new() -> Self {
+        Self {
+            hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Folds a value into the checksum.
+    pub fn push(&mut self, v: u64) {
+        for i in 0..8 {
+            self.hash ^= (v >> (8 * i)) & 0xff;
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The folded checksum.
+    pub fn value(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Reads back `words` u32s starting at `base` and folds them into a
+/// checksum — the standard way kernels summarise their output buffers.
+pub fn checksum_region(bus: &mut dyn Bus, base: u32, words: u32) -> u64 {
+    let mut c = Checksum::new();
+    for i in 0..words {
+        c.push(u64::from(bus.load_u32(base + i * 4)));
+    }
+    c.value()
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use ehsim_mem::{FunctionalMem, Workload};
+
+    /// Standard per-kernel checks: determinism, self-described footprint,
+    /// and scale sensitivity.
+    pub fn check_workload<W: Workload>(small: W, default: W) {
+        let mut m1 = FunctionalMem::new(small.mem_bytes());
+        let a = small.run(&mut m1);
+        let mut m2 = FunctionalMem::new(small.mem_bytes());
+        let b = small.run(&mut m2);
+        assert_eq!(a, b, "{}: non-deterministic", small.name());
+        assert_ne!(a, 0, "{}: degenerate checksum", small.name());
+
+        let mut m3 = FunctionalMem::new(default.mem_bytes());
+        let c = default.run(&mut m3);
+        assert_ne!(a, c, "{}: scale has no effect", default.name());
+        assert!(default.mem_bytes() >= small.mem_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(SplitMix64::new(1).next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn pcm_samples_are_bounded() {
+        let mut r = SplitMix64::new(9);
+        for t in 0..10_000 {
+            let s = r.pcm_sample(t);
+            assert!(s.abs() < 24_000);
+        }
+    }
+
+    #[test]
+    fn alloc_is_line_aligned() {
+        let mut a = Alloc::new();
+        let x = a.array(10);
+        let y = a.array(100);
+        assert_eq!(x, 0);
+        assert_eq!(y % 64, 0);
+        assert_eq!(y, 64);
+        assert_eq!(a.used(), 64 + 128);
+    }
+
+    #[test]
+    fn checksum_orders_matter() {
+        let mut a = Checksum::new();
+        a.push(1);
+        a.push(2);
+        let mut b = Checksum::new();
+        b.push(2);
+        b.push(1);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn checksum_region_reads_memory() {
+        use ehsim_mem::FunctionalMem;
+        let mut mem = FunctionalMem::new(256);
+        mem.store_u32(0, 0xaaaa);
+        let a = checksum_region(&mut mem, 0, 4);
+        mem.store_u32(0, 0xbbbb);
+        let b = checksum_region(&mut mem, 0, 4);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-crate crash-consistency tests: every design must survive
+//! arbitrary power-failure schedules without corrupting program state.
+//!
+//! Two independent oracles are used:
+//!
+//! 1. the machine's built-in verifier (`with_verify`) compares the
+//!    persistent state against an oracle memory at *every* checkpoint;
+//! 2. the workload checksum is compared against a pure functional run,
+//!    proving end-to-end equivalence.
+
+use wl_cache_repro::prelude::*;
+use wl_cache_repro::ehsim::SimConfig as Cfg;
+use wl_cache_repro::ehsim_mem::FunctionalMem;
+
+fn functional_checksum(w: &dyn Workload) -> u64 {
+    let mut mem = FunctionalMem::new(w.mem_bytes());
+    w.run(&mut mem)
+}
+
+#[test]
+fn every_design_is_crash_consistent_on_rf1() {
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(Qsort::small()),
+        Box::new(Sha::small()),
+        Box::new(AdpcmEncode::small()),
+        Box::new(Patricia::small()),
+    ];
+    for w in &workloads {
+        let expected = functional_checksum(w.as_ref());
+        for cfg in Cfg::all_designs() {
+            let label = cfg.design.label();
+            let r = Simulator::new(cfg.with_trace(TraceKind::Rf1).with_verify())
+                .run(w.as_ref())
+                .unwrap_or_else(|e| panic!("{label}/{}: {e}", w.name()));
+            assert_eq!(r.checksum, expected, "{label} corrupted {}", w.name());
+        }
+    }
+}
+
+#[test]
+fn wl_cache_survives_the_most_hostile_trace() {
+    // tr3 has the most frequent outages; run the most store-intensive
+    // kernel with verification at every checkpoint.
+    let w = Qsort::small();
+    let expected = functional_checksum(&w);
+    let r = Simulator::new(Cfg::wl_cache().with_trace(TraceKind::Rf3).with_verify())
+        .run(&w)
+        .expect("simulation must complete");
+    assert_eq!(r.checksum, expected);
+}
+
+#[test]
+fn tiny_capacitor_forces_frequent_checkpoints_and_stays_consistent() {
+    // A 0.1 µF buffer shrinks every on-interval, multiplying outages:
+    // stress the checkpoint path specifically. The kernel must be long
+    // enough to deterministically cross several RF fades.
+    let w = AdpcmDecode::new(60_000);
+    let expected = functional_checksum(&w);
+    for cfg in [Cfg::wl_cache(), Cfg::nvsram(), Cfg::replay()] {
+        let label = cfg.design.label();
+        let r = Simulator::new(
+            cfg.with_capacitor_uf(0.1)
+                .with_trace(TraceKind::Rf3)
+                .with_verify(),
+        )
+        .run(&w)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(r.outages > 0, "{label}: stress test produced no outages");
+        assert_eq!(r.checksum, expected, "{label}");
+    }
+}
+
+#[test]
+fn dynamic_adaptation_does_not_break_consistency() {
+    let w = JpegEncode::small();
+    let expected = functional_checksum(&w);
+    for trace in [TraceKind::Rf1, TraceKind::Thermal] {
+        let r = Simulator::new(Cfg::wl_cache_dyn().with_trace(trace).with_verify())
+            .run(&w)
+            .expect("wl-dyn run");
+        assert_eq!(r.checksum, expected, "{trace:?}");
+    }
+}
+
+#[test]
+fn dq_lru_policy_is_also_consistent() {
+    use wl_cache_repro::wl_cache::DqPolicy;
+    let w = Epic::small();
+    let expected = functional_checksum(&w);
+    let cfg = Cfg::wl_cache()
+        .with_dq_policy(DqPolicy::Lru)
+        .with_trace(TraceKind::Rf1)
+        .with_verify();
+    let r = Simulator::new(cfg).run(&w).expect("DQ-LRU run");
+    assert_eq!(r.checksum, expected);
+}
+
+#[test]
+fn direct_mapped_and_4way_geometries_are_consistent() {
+    use wl_cache_repro::ehsim_cache::CacheGeometry;
+    let w = Dijkstra::small();
+    let expected = functional_checksum(&w);
+    for ways in [1u32, 4] {
+        let cfg = Cfg::wl_cache()
+            .with_geometry(CacheGeometry::new(512, ways, 64))
+            .with_trace(TraceKind::Rf2)
+            .with_verify();
+        let r = Simulator::new(cfg).run(&w).expect("geometry run");
+        assert_eq!(r.checksum, expected, "{ways}-way");
+    }
+}

@@ -1,0 +1,54 @@
+//! Driving the simulator with user-supplied (recorded) power traces.
+
+use wl_cache_repro::ehsim::{SimConfig, SimError, Simulator};
+use wl_cache_repro::ehsim_energy::{parse_trace, PowerTrace};
+use wl_cache_repro::prelude::*;
+
+#[test]
+fn recorded_trace_text_drives_the_simulation() {
+    // A bursty source written in the data-logger text format.
+    let trace = parse_trace(
+        "# strong burst, deep fade, repeat\n\
+         400 15000\n\
+         900 50\n\
+         300 18000\n\
+         1200 0\n",
+    )
+    .unwrap();
+    // Long enough to span several burst/fade cycles.
+    let w = AdpcmEncode::new(40_000);
+    let r = Simulator::new(SimConfig::wl_cache().with_custom_trace(trace).with_verify())
+        .run(&w)
+        .expect("run");
+    assert_eq!(r.trace, "custom");
+    assert!(r.outages > 0, "the fades must cause outages");
+
+    // Identical results to a failure-free run.
+    let calm = Simulator::new(SimConfig::wl_cache()).run(&w).unwrap();
+    assert_eq!(r.checksum, calm.checksum);
+}
+
+#[test]
+fn dead_source_is_reported_not_hung() {
+    // 0.05 µW forever: charging to Von would take minutes of simulated
+    // time, beyond the recharge budget — the source is declared dead.
+    let trace = PowerTrace::constant(0.05);
+    let err = Simulator::new(SimConfig::wl_cache().with_custom_trace(trace))
+        .run(&Sha::small())
+        .unwrap_err();
+    assert!(matches!(err, SimError::SourceDead { .. }), "{err}");
+}
+
+#[test]
+fn custom_trace_is_deterministic() {
+    let text = "250 16000\n800 20\n";
+    let w = Dijkstra::small();
+    let run = || {
+        Simulator::new(SimConfig::nvsram().with_custom_trace(parse_trace(text).unwrap()))
+            .run(&w)
+            .unwrap()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.total_time_ps, b.total_time_ps);
+    assert_eq!(a.outages, b.outages);
+}

@@ -1,0 +1,125 @@
+//! Integration checks over the whole 23-kernel suite (Small scale):
+//! determinism, checksum equivalence across designs, and the basic
+//! performance orderings the paper's evaluation is built on.
+
+use wl_cache_repro::ehsim::{Report, SimConfig, Simulator};
+use wl_cache_repro::ehsim_mem::FunctionalMem;
+use wl_cache_repro::prelude::*;
+
+fn run_all(cfg: &SimConfig) -> Vec<Report> {
+    all23(Scale::Small)
+        .iter()
+        .map(|w| {
+            Simulator::new(cfg.clone())
+                .run(w.as_ref())
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", cfg.design.label(), w.name()))
+        })
+        .collect()
+}
+
+#[test]
+fn all_23_kernels_match_functional_checksums_on_wl_cache() {
+    let cfg = SimConfig::wl_cache().with_trace(TraceKind::Rf1).with_verify();
+    for w in all23(Scale::Small) {
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        let expected = w.run(&mut mem);
+        let r = Simulator::new(cfg.clone()).run(w.as_ref()).unwrap();
+        assert_eq!(r.checksum, expected, "{}", w.name());
+    }
+}
+
+#[test]
+fn simulations_are_deterministic_across_repeats() {
+    let cfg = SimConfig::wl_cache().with_trace(TraceKind::Rf2);
+    let a = run_all(&cfg);
+    let b = run_all(&cfg);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.total_time_ps, y.total_time_ps, "{}", x.workload);
+        assert_eq!(x.outages, y.outages, "{}", x.workload);
+        assert_eq!(x.cache, y.cache, "{}", x.workload);
+    }
+}
+
+#[test]
+fn designs_agree_on_results_but_not_on_time() {
+    let wl = run_all(&SimConfig::wl_cache());
+    let nv = run_all(&SimConfig::nvcache_wb());
+    let mut some_time_differs = false;
+    for (a, b) in wl.iter().zip(&nv) {
+        assert_eq!(a.checksum, b.checksum, "{}", a.workload);
+        some_time_differs |= a.total_time_ps != b.total_time_ps;
+    }
+    assert!(some_time_differs, "designs should have distinct timing");
+}
+
+#[test]
+fn nvcache_is_slower_than_nvsram_everywhere() {
+    // The paper's most robust ordering: the all-ReRAM cache loses to
+    // the SRAM-based NVSRAM on every application (Fig 4).
+    let base = run_all(&SimConfig::nvsram());
+    let nv = run_all(&SimConfig::nvcache_wb());
+    for (b, n) in base.iter().zip(&nv) {
+        assert!(
+            n.total_time_ps > b.total_time_ps,
+            "{}: NVCache {} <= NVSRAM {}",
+            b.workload,
+            n.total_time_ps,
+            b.total_time_ps
+        );
+    }
+}
+
+#[test]
+fn write_through_pays_for_every_store() {
+    let wt = run_all(&SimConfig::vcache_wt());
+    for r in &wt {
+        assert_eq!(
+            r.cache.word_writes, r.cache.stores,
+            "{}: WT must issue one NVM word write per store",
+            r.workload
+        );
+    }
+}
+
+#[test]
+fn wl_cache_bounds_write_traffic_between_wb_and_wt() {
+    let wt = run_all(&SimConfig::vcache_wt());
+    let wl = run_all(&SimConfig::wl_cache());
+    let nvsram = run_all(&SimConfig::nvsram());
+    let sum = |rs: &[Report]| rs.iter().map(|r| r.cache.nvm_write_bytes).sum::<u64>();
+    let (wt_b, wl_b, nvsram_b) = (sum(&wt), sum(&wl), sum(&nvsram));
+    assert!(
+        wl_b >= nvsram_b,
+        "WL ({wl_b}) must write at least as much as NVSRAM ({nvsram_b})"
+    );
+    // WT writes word-granular but on *every* store; in aggregate the
+    // suite's stores far exceed WL's line cleanings.
+    assert!(wl_b < 4 * wt_b, "WL ({wl_b}) vs WT ({wt_b}) out of range");
+}
+
+#[test]
+fn outage_counts_follow_trace_quality() {
+    let w = FftInverse::small();
+    let mut outages = Vec::new();
+    for trace in [TraceKind::Rf1, TraceKind::Rf3] {
+        let r = Simulator::new(SimConfig::wl_cache().with_trace(trace))
+            .run(&w)
+            .unwrap();
+        outages.push(r.outages);
+    }
+    assert!(
+        outages[1] > outages[0],
+        "tr3 ({}) must out-fail tr1 ({})",
+        outages[1],
+        outages[0]
+    );
+}
+
+#[test]
+fn no_failure_reports_are_failure_free() {
+    for r in run_all(&SimConfig::wl_cache()) {
+        assert_eq!(r.outages, 0, "{}", r.workload);
+        assert_eq!(r.off_time_ps, 0, "{}", r.workload);
+        assert_eq!(r.checkpoint_time_ps, 0, "{}", r.workload);
+    }
+}

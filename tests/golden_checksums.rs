@@ -1,0 +1,62 @@
+//! Golden-checksum snapshots: every kernel's Small-scale checksum is
+//! pinned, so any accidental behavioural change to a kernel, the cache
+//! substrate, or the functional memory shows up immediately.
+//!
+//! If a change to a kernel is *intentional*, regenerate with:
+//! `cargo test -p wl-cache-repro --test golden_checksums -- --nocapture`
+//! (the failure message prints the new table).
+
+use wl_cache_repro::ehsim_mem::FunctionalMem;
+use wl_cache_repro::prelude::*;
+
+#[test]
+fn small_scale_checksums_are_pinned() {
+    let mut table = String::new();
+    let mut mismatches = Vec::new();
+    for w in all23(Scale::Small) {
+        let mut mem = FunctionalMem::new(w.mem_bytes());
+        let got = w.run(&mut mem);
+        table.push_str(&format!("        (\"{}\", {:#018x}),\n", w.name(), got));
+        if let Some((_, expected)) = GOLDEN.iter().find(|(n, _)| *n == w.name()) {
+            if *expected != got {
+                mismatches.push(format!(
+                    "{}: expected {expected:#018x}, got {got:#018x}",
+                    w.name()
+                ));
+            }
+        } else {
+            mismatches.push(format!("{}: no golden entry", w.name()));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden mismatches:\n{}\nfull regenerated table:\n{table}",
+        mismatches.join("\n")
+    );
+}
+
+const GOLDEN: &[(&str, u64)] = &[
+    ("adpcmdecode", 0x67a2e6bef8e2f1f4),
+    ("adpcmencode", 0x95deeabce14b4d75),
+    ("epic", 0xb0cde86da4313113),
+    ("g721decode", 0x1697669b8fa234e9),
+    ("g721encode", 0xbef9d853bea7459b),
+    ("gsmdecode", 0x1c4bc01a8522d042),
+    ("gsmencode", 0xd1468ca1513904d5),
+    ("jpegdecode", 0x5fb91cd403ac1d73),
+    ("jpegencode", 0x1f0536780992530b),
+    ("mpeg2decode", 0x85f5ddf229951d14),
+    ("mpeg2encode", 0xa2781d7daf56bab0),
+    ("pegwitdecrypt", 0x0af210a2ef6ae0d1),
+    ("sha", 0xa1839e3c4d9d9542),
+    ("susancorners", 0x6f458fb5bc06e635),
+    ("susanedges", 0xac0c7bfb6ee3ff10),
+    ("basicmath", 0xcb0cecd3123f2132),
+    ("qsort", 0x9e7d2142140632af),
+    ("dijkstra", 0xa50710263127cab9),
+    ("FFT", 0xe8427ba64fa5d85e),
+    ("FFT_i", 0x1a50314b106b2268),
+    ("patricia", 0x6660346a0506c99a),
+    ("rijndael_d", 0x4e20713f75c7d584),
+    ("rijndael_e", 0x371ffdaf6d3776d2),
+];
