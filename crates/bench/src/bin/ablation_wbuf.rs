@@ -5,36 +5,6 @@
 //! full-line (data-carrying) buffer's energy, and (3) lengthened miss
 //! latency. This bench quantifies the comparison plus the hardware-cost
 //! side from CACTI-lite.
-use ehsim::{gmean, SimConfig};
-use ehsim_bench::{f3, run_suite, Table};
-use ehsim_energy::TraceKind;
-use ehsim_hwcost::{dirty_queue_spec, estimate, write_buffer_spec};
-use ehsim_workloads::Scale;
-
 fn main() {
-    let mut t = Table::new();
-    t.row(["scenario", "WL-Cache", "WBuf-Cache"]);
-    for trace in [TraceKind::None, TraceKind::Rf1] {
-        let base = run_suite(&SimConfig::nvsram().with_trace(trace), Scale::Default);
-        let mut cells = vec![trace.label().to_string()];
-        for cfg in [SimConfig::wl_cache(), SimConfig::write_buffer()] {
-            let reports = run_suite(&cfg.with_trace(trace), Scale::Default);
-            let g = gmean(reports.iter().zip(&base).map(|(r, b)| r.speedup_vs(b))).unwrap();
-            cells.push(f3(g));
-        }
-        t.row(cells);
-    }
-    let dq = estimate(&dirty_queue_spec(8, 32));
-    let wb = estimate(&write_buffer_spec(6, 64, 32));
-    t.row([
-        "area (mm^2)".to_string(),
-        format!("{:.5}", dq.area_mm2),
-        format!("{:.5}", wb.area_mm2),
-    ]);
-    t.row([
-        "dynamic (pJ/access)".to_string(),
-        format!("{:.2}", dq.dynamic_pj_per_access),
-        format!("{:.2}", wb.dynamic_pj_per_access),
-    ]);
-    t.save("ablation_wbuf");
+    ehsim_bench::figures::ablation_wbuf(ehsim_workloads::Scale::Default).save("ablation_wbuf");
 }

@@ -1,21 +1,44 @@
-//! Regenerates every table and figure by invoking the sibling harness
-//! binaries in sequence (see DESIGN.md §3 for the index).
-use std::process::Command;
+//! Regenerates every table and figure **in-process** (see DESIGN.md §3
+//! for the index), so all figures share one worker pool and one memo
+//! cache — the NVSRAM baselines and other repeated configurations are
+//! simulated exactly once for the whole run.
+//!
+//! With `--bench`, writes `BENCH_sweep.json` (wall-clock seconds,
+//! simulations run vs memoized, simulated instructions/second, worker
+//! count) next to the `results/` directory.
 
-const BINS: &[&str] = &[
-    "table1", "table2", "hwcost", "fig04", "fig05", "fig06", "fig07", "fig08a", "fig08b",
-    "fig09", "fig10a", "fig10b", "fig11", "fig12", "fig13a", "fig13b", "stats66",
-];
+use ehsim_bench::{exec, figures};
+use ehsim_workloads::Scale;
+use std::time::Instant;
 
 fn main() {
-    let me = std::env::current_exe().expect("own path");
-    let dir = me.parent().expect("bin dir");
-    for bin in BINS {
-        println!("==== {bin} ====");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed");
+    let bench = std::env::args().any(|a| a == "--bench");
+    let start = Instant::now();
+    for (name, figure) in figures::ALL {
+        println!("==== {name} ====");
+        figure(Scale::Default).save(name);
         println!();
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let stats = exec::stats();
+    let ips = stats.simulated_instructions as f64 / wall;
+    eprintln!(
+        "[all_figures: {wall:.1}s wall, {} sims run, {} memoized, {} workers, {ips:.2e} simulated instr/s]",
+        stats.sims_run,
+        stats.memo_hits,
+        exec::jobs(),
+    );
+    if bench {
+        let json = format!(
+            "{{\n  \"wall_clock_seconds\": {wall:.3},\n  \"jobs\": {},\n  \"sims_run\": {},\n  \"memo_hits\": {},\n  \"simulated_instructions\": {},\n  \"simulated_instructions_per_second\": {ips:.1}\n}}\n",
+            exec::jobs(),
+            stats.sims_run,
+            stats.memo_hits,
+            stats.simulated_instructions,
+        );
+        match std::fs::write("BENCH_sweep.json", &json) {
+            Ok(()) => eprintln!("[saved BENCH_sweep.json]"),
+            Err(e) => eprintln!("[could not write BENCH_sweep.json: {e}]"),
+        }
     }
 }

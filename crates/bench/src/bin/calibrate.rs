@@ -66,7 +66,12 @@ fn main() {
         }
         let mean = outs.iter().sum::<f64>() / outs.len() as f64;
         let tmean = times.iter().sum::<f64>() / times.len() as f64;
-        println!("{}\tmean outages {:.1}\tmean time {:.3} s", trace.label(), mean, tmean);
+        println!(
+            "{}\tmean outages {:.1}\tmean time {:.3} s",
+            trace.label(),
+            mean,
+            tmean
+        );
     }
 
     println!("\n== trace-1 per-design diagnostics (mean over workloads) ==");

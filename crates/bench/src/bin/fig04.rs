@@ -1,5 +1,5 @@
 //! Fig 4: normalized speedup of each cache design vs NVSRAM(ideal),
 //! no power failure, 23 applications + per-suite gmeans.
 fn main() {
-    ehsim_bench::speedup_figure(ehsim_energy::TraceKind::None, "fig04");
+    ehsim_bench::figures::fig04(ehsim_workloads::Scale::Default).save("fig04");
 }

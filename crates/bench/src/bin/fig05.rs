@@ -1,5 +1,5 @@
 //! Fig 5: normalized speedup of each cache design vs NVSRAM(ideal)
 //! under Power Trace 1.
 fn main() {
-    ehsim_bench::speedup_figure(ehsim_energy::TraceKind::Rf1, "fig05");
+    ehsim_bench::figures::fig05(ehsim_workloads::Scale::Default).save("fig05");
 }

@@ -1,5 +1,5 @@
 //! Fig 6: normalized speedup of each cache design vs NVSRAM(ideal)
 //! under Power Trace 2.
 fn main() {
-    ehsim_bench::speedup_figure(ehsim_energy::TraceKind::Rf2, "fig06");
+    ehsim_bench::figures::fig06(ehsim_workloads::Scale::Default).save("fig06");
 }

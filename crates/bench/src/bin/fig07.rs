@@ -1,28 +1,5 @@
 //! Fig 7: normalized NVM write-traffic increase of WL-Cache compared to
 //! NVSRAM(ideal) under Power Trace 1.
-use ehsim::SimConfig;
-use ehsim_bench::{f3, run_suite, with_gmeans, workload_labels, Table};
-use ehsim_energy::TraceKind;
-use ehsim_workloads::Scale;
-
 fn main() {
-    let base = run_suite(&SimConfig::nvsram().with_trace(TraceKind::Rf1), Scale::Default);
-    let wl = run_suite(&SimConfig::wl_cache().with_trace(TraceKind::Rf1), Scale::Default);
-    let ratios: Vec<f64> = wl
-        .iter()
-        .zip(&base)
-        .map(|(w, b)| w.nvm_write_bytes() as f64 / b.nvm_write_bytes() as f64)
-        .collect();
-    let mut t = Table::new();
-    let mut header = vec!["app".to_string()];
-    header.push("write-traffic ratio (WL / NVSRAM)".into());
-    t.row(header);
-    for (name, r) in workload_labels().iter().zip(with_gmeans(&ratios)) {
-        t.row([name.clone(), f3(r)]);
-    }
-    let g = with_gmeans(&ratios);
-    t.row(["gmean(Media)".to_string(), f3(g[23])]);
-    t.row(["gmean(Mi)".to_string(), f3(g[24])]);
-    t.row(["gmean(Total)".to_string(), f3(g[25])]);
-    t.save("fig07");
+    ehsim_bench::figures::fig07(ehsim_workloads::Scale::Default).save("fig07");
 }

@@ -1,24 +1,5 @@
 //! Fig 8(a): WL-Cache speedup with DQ-FIFO vs DQ-LRU DirtyQueue
 //! replacement, relative to NVSRAM(ideal), averaged over the suite.
-use ehsim::{gmean, SimConfig};
-use ehsim_bench::{f3, run_suite, Table};
-use ehsim_energy::TraceKind;
-use ehsim_workloads::Scale;
-use wl_cache::DqPolicy;
-
 fn main() {
-    let mut t = Table::new();
-    t.row(["scenario", "DQ-FIFO", "DQ-LRU"]);
-    for trace in [TraceKind::None, TraceKind::Rf1, TraceKind::Rf2] {
-        let base = run_suite(&SimConfig::nvsram().with_trace(trace), Scale::Default);
-        let mut cells = vec![trace.label().to_string()];
-        for policy in [DqPolicy::Fifo, DqPolicy::Lru] {
-            let cfg = SimConfig::wl_cache().with_dq_policy(policy).with_trace(trace);
-            let reports = run_suite(&cfg, Scale::Default);
-            let g = gmean(reports.iter().zip(&base).map(|(r, b)| r.speedup_vs(b))).unwrap();
-            cells.push(f3(g));
-        }
-        t.row(cells);
-    }
-    t.save("fig08a");
+    ehsim_bench::figures::fig08a(ehsim_workloads::Scale::Default).save("fig08a");
 }

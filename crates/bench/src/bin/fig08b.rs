@@ -1,25 +1,5 @@
 //! Fig 8(b): WL-Cache speedup with direct-mapped / 2-way / 4-way set
 //! associativity, relative to NVSRAM(ideal), averaged over the suite.
-use ehsim::{gmean, SimConfig};
-use ehsim_bench::{f3, run_suite, Table};
-use ehsim_cache::CacheGeometry;
-use ehsim_energy::TraceKind;
-use ehsim_workloads::Scale;
-
 fn main() {
-    let mut t = Table::new();
-    t.row(["scenario", "D-Map.", "2-Way", "4-Way"]);
-    for trace in [TraceKind::None, TraceKind::Rf1, TraceKind::Rf2] {
-        let base = run_suite(&SimConfig::nvsram().with_trace(trace), Scale::Default);
-        let mut cells = vec![trace.label().to_string()];
-        for ways in [1u32, 2, 4] {
-            let geom = CacheGeometry::new(1024, ways, 64);
-            let cfg = SimConfig::wl_cache().with_geometry(geom).with_trace(trace);
-            let reports = run_suite(&cfg, Scale::Default);
-            let g = gmean(reports.iter().zip(&base).map(|(r, b)| r.speedup_vs(b))).unwrap();
-            cells.push(f3(g));
-        }
-        t.row(cells);
-    }
-    t.save("fig08b");
+    ehsim_bench::figures::fig08b(ehsim_workloads::Scale::Default).save("fig08b");
 }

@@ -1,30 +1,6 @@
 //! Fig 9: per-application sensitivity to maxline (2/4/6/8) and cache
 //! replacement policy (FIFO vs LRU), normalized to NVSRAM(ideal),
 //! Power Trace 1.
-use ehsim::SimConfig;
-use ehsim_bench::{f3, run, run_suite, Table};
-use ehsim_cache::ReplacementPolicy;
-use ehsim_energy::TraceKind;
-use ehsim_workloads::{all23, Scale};
-
 fn main() {
-    let base = run_suite(&SimConfig::nvsram().with_trace(TraceKind::Rf1), Scale::Default);
-    let mut t = Table::new();
-    t.row(["app", "maxline", "FIFO", "LRU", "NVSRAM(ideal)"]);
-    let workloads = all23(Scale::Default);
-    for (i, w) in workloads.iter().enumerate() {
-        for maxline in [2usize, 4, 6, 8] {
-            let mut cells = vec![w.name().to_string(), maxline.to_string()];
-            for policy in [ReplacementPolicy::Fifo, ReplacementPolicy::Lru] {
-                let cfg = SimConfig::wl_cache_static(maxline)
-                    .with_cache_policy(policy)
-                    .with_trace(TraceKind::Rf1);
-                let r = run(cfg, w.as_ref());
-                cells.push(f3(r.speedup_vs(&base[i])));
-            }
-            cells.push("1.000".into());
-            t.row(cells);
-        }
-    }
-    t.save("fig09");
+    ehsim_bench::figures::fig09(ehsim_workloads::Scale::Default).save("fig09");
 }

@@ -1,33 +1,5 @@
 //! Fig 10(a): speedup vs NVSRAM(ideal) while sweeping the cache size
 //! from 128 B to 4 kB, Power Trace 1, suite gmean.
-use ehsim::{gmean, SimConfig};
-use ehsim_bench::{f3, run_suite, Table};
-use ehsim_cache::CacheGeometry;
-use ehsim_energy::TraceKind;
-use ehsim_workloads::Scale;
-
 fn main() {
-    let mut t = Table::new();
-    t.row(["size(B)", "NVSRAM(ideal)", "VCache-WT", "ReplayCache", "WL-Cache"]);
-    // The 1 kB NVSRAM is the common baseline so the sweep shows both
-    // effects the paper reports: absolute speedup growing with size and
-    // the WL/NVSRAM gap narrowing as the cache shrinks.
-    let base = run_suite(&SimConfig::nvsram().with_trace(TraceKind::Rf1), Scale::Default);
-    for size in [128u32, 256, 512, 1024, 2048, 4096] {
-        let geom = CacheGeometry::new(size, 2, 64);
-        let mut cells = vec![size.to_string()];
-        for cfg in [
-            SimConfig::nvsram(),
-            SimConfig::vcache_wt(),
-            SimConfig::replay(),
-            SimConfig::wl_cache(),
-        ] {
-            let reports =
-                run_suite(&cfg.with_geometry(geom).with_trace(TraceKind::Rf1), Scale::Default);
-            let g = gmean(reports.iter().zip(&base).map(|(r, b)| r.speedup_vs(b))).unwrap();
-            cells.push(f3(g));
-        }
-        t.row(cells);
-    }
-    t.save("fig10a");
+    ehsim_bench::figures::fig10a(ehsim_workloads::Scale::Default).save("fig10a");
 }

@@ -1,36 +1,5 @@
 //! Fig 10(b): execution time (seconds) while sweeping the capacitor
 //! size from 100 nF to 1 mF, Power Trace 1, suite mean.
-use ehsim::SimConfig;
-use ehsim_bench::{run_suite, Table};
-use ehsim_energy::TraceKind;
-use ehsim_workloads::Scale;
-
 fn main() {
-    let mut t = Table::new();
-    t.row([
-        "capacitor(uF)",
-        "VCache-WT",
-        "ReplayCache",
-        "NVSRAM(ideal)",
-        "WL-Cache",
-    ]);
-    for uf in [0.1, 0.344, 1.0, 10.0, 100.0, 500.0, 1000.0] {
-        let mut cells = vec![format!("{uf}")];
-        for cfg in [
-            SimConfig::vcache_wt(),
-            SimConfig::replay(),
-            SimConfig::nvsram(),
-            SimConfig::wl_cache(),
-        ] {
-            let reports = run_suite(
-                &cfg.with_capacitor_uf(uf).with_trace(TraceKind::Rf1),
-                Scale::Default,
-            );
-            let mean: f64 =
-                reports.iter().map(|r| r.total_seconds()).sum::<f64>() / reports.len() as f64;
-            cells.push(format!("{mean:.4}"));
-        }
-        t.row(cells);
-    }
-    t.save("fig10b");
+    ehsim_bench::figures::fig10b(ehsim_workloads::Scale::Default).save("fig10b");
 }

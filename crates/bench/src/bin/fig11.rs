@@ -1,5 +1,5 @@
 //! Fig 11: adaptive vs best-static WL-Cache (LRU/FIFO cache
 //! replacement) vs NVSRAM(ideal), Power Trace 1.
 fn main() {
-    ehsim_bench::adaptive_figure(ehsim_energy::TraceKind::Rf1, "fig11");
+    ehsim_bench::figures::fig11(ehsim_workloads::Scale::Default).save("fig11");
 }

@@ -1,5 +1,5 @@
 //! Fig 12: adaptive vs best-static WL-Cache (LRU/FIFO cache
 //! replacement) vs NVSRAM(ideal), Power Trace 2.
 fn main() {
-    ehsim_bench::adaptive_figure(ehsim_energy::TraceKind::Rf2, "fig12");
+    ehsim_bench::figures::fig12(ehsim_workloads::Scale::Default).save("fig12");
 }

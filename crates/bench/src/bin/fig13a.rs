@@ -1,41 +1,5 @@
 //! Fig 13(a): speedup vs NVSRAM(ideal) across power traces
 //! (tr1/tr2/tr3/solar/thermal), including WL-Cache(dyn), suite gmean.
-use ehsim::{gmean, SimConfig};
-use ehsim_bench::{f3, run_suite, Table};
-use ehsim_energy::TraceKind;
-use ehsim_workloads::Scale;
-
 fn main() {
-    let mut t = Table::new();
-    t.row([
-        "trace",
-        "NVSRAM(ideal)",
-        "VCache-WT",
-        "ReplayCache",
-        "WL-Cache",
-        "WL-Cache(dyn)",
-    ]);
-    for trace in [
-        TraceKind::Rf1,
-        TraceKind::Rf2,
-        TraceKind::Rf3,
-        TraceKind::Solar,
-        TraceKind::Thermal,
-    ] {
-        let base = run_suite(&SimConfig::nvsram().with_trace(trace), Scale::Default);
-        let mut cells = vec![trace.label().to_string()];
-        for cfg in [
-            SimConfig::nvsram(),
-            SimConfig::vcache_wt(),
-            SimConfig::replay(),
-            SimConfig::wl_cache(),
-            SimConfig::wl_cache_dyn(),
-        ] {
-            let reports = run_suite(&cfg.with_trace(trace), Scale::Default);
-            let g = gmean(reports.iter().zip(&base).map(|(r, b)| r.speedup_vs(b))).unwrap();
-            cells.push(f3(g));
-        }
-        t.row(cells);
-    }
-    t.save("fig13a");
+    ehsim_bench::figures::fig13a(ehsim_workloads::Scale::Default).save("fig13a");
 }

@@ -1,46 +1,6 @@
 //! Fig 13(b): energy-consumption breakdown (cache read/write, memory
 //! read/write, compute) per design under Power Trace 1, normalized to
 //! NVSRAM(ideal)'s total, suite sum.
-use ehsim::SimConfig;
-use ehsim_bench::{run_suite, Table};
-use ehsim_energy::{EnergyCategory, EnergyMeter, TraceKind};
-use ehsim_workloads::Scale;
-
 fn main() {
-    let designs = [
-        SimConfig::nvcache_wb(),
-        SimConfig::vcache_wt(),
-        SimConfig::nvsram(),
-        SimConfig::wl_cache(),
-    ];
-    let mut totals: Vec<(String, EnergyMeter)> = Vec::new();
-    for cfg in designs {
-        let label = cfg.design.label().to_string();
-        let reports = run_suite(&cfg.with_trace(TraceKind::Rf1), Scale::Default);
-        let sum = reports
-            .iter()
-            .fold(EnergyMeter::new(), |acc, r| acc.merged(&r.energy));
-        totals.push((label, sum));
-    }
-    let nvsram_total = totals
-        .iter()
-        .find(|(l, _)| l == "NVSRAM(ideal)")
-        .expect("baseline present")
-        .1
-        .total();
-
-    let mut t = Table::new();
-    let mut header = vec!["design".to_string()];
-    header.extend(EnergyCategory::ALL.iter().map(|c| c.label().to_string()));
-    header.push("total(%)".into());
-    t.row(header);
-    for (label, m) in &totals {
-        let mut cells = vec![label.clone()];
-        for c in EnergyCategory::ALL {
-            cells.push(format!("{:.1}", m.get(c) / nvsram_total * 100.0));
-        }
-        cells.push(format!("{:.1}", m.total() / nvsram_total * 100.0));
-        t.row(cells);
-    }
-    t.save("fig13b");
+    ehsim_bench::figures::fig13b(ehsim_workloads::Scale::Default).save("fig13b");
 }

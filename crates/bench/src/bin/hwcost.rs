@@ -1,42 +1,6 @@
 //! §6.2 hardware cost: CACTI-lite estimates for the DirtyQueue, the
 //! SRAM/ReRAM cache arrays, and the rejected CAM write-buffer
 //! alternative of §3.3.
-use ehsim_bench::Table;
-use ehsim_hwcost::{cache_spec, dirty_queue_spec, estimate, write_buffer_spec, ArrayKind};
-
 fn main() {
-    let mut t = Table::new();
-    t.row(["structure", "area (mm^2)", "dynamic (pJ/access)", "leakage (mW)"]);
-    let entries = [
-        ("DirtyQueue (8 x 32b + state)", estimate(&dirty_queue_spec(8, 32))),
-        (
-            "8 kB SRAM cache",
-            estimate(&cache_spec(8 * 1024, 64, 20, ArrayKind::Sram)),
-        ),
-        (
-            "8 kB ReRAM (NV) cache",
-            estimate(&cache_spec(8 * 1024, 64, 20, ArrayKind::Reram)),
-        ),
-        (
-            "CAM write buffer (8 lines, rejected in sec. 3.3)",
-            estimate(&write_buffer_spec(8, 64, 32)),
-        ),
-    ];
-    for (name, e) in entries {
-        t.row([
-            name.to_string(),
-            format!("{:.5}", e.area_mm2),
-            format!("{:.3}", e.dynamic_pj_per_access),
-            format!("{:.3}", e.leakage_uw / 1000.0),
-        ]);
-    }
-    let dq = estimate(&dirty_queue_spec(8, 32));
-    let nv = estimate(&cache_spec(8 * 1024, 64, 20, ArrayKind::Reram));
-    t.row([
-        "DirtyQueue / NV-cache leakage".to_string(),
-        String::new(),
-        String::new(),
-        format!("{:.1}%", dq.leakage_uw / nv.leakage_uw * 100.0),
-    ]);
-    t.save("hwcost");
+    ehsim_bench::figures::hwcost(ehsim_workloads::Scale::Default).save("hwcost");
 }

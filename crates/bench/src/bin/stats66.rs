@@ -2,52 +2,6 @@
 //! range, energy-source prediction accuracy, dirty lines / write-backs
 //! per power-on interval, and stall overhead — for WL-Cache (adaptive,
 //! FIFO DirtyQueue) on Power Traces 1 and 2.
-use ehsim::SimConfig;
-use ehsim_bench::{run_suite, Table};
-use ehsim_energy::TraceKind;
-use ehsim_workloads::Scale;
-
 fn main() {
-    let mut t = Table::new();
-    t.row([
-        "trace",
-        "reconfigs(mean)",
-        "maxline-min",
-        "maxline-max",
-        "pred-accuracy",
-        "dirty/interval",
-        "writebacks/interval",
-        "stall(%)",
-        "outages(mean)",
-    ]);
-    for trace in [TraceKind::Rf1, TraceKind::Rf2] {
-        let reports = run_suite(&SimConfig::wl_cache().with_trace(trace), Scale::Default);
-        let n = reports.len() as f64;
-        let wl: Vec<_> = reports.iter().filter_map(|r| r.wl.as_ref()).collect();
-        let reconf: f64 = wl.iter().map(|w| w.reconfigurations as f64).sum::<f64>() / n;
-        let mmin = wl.iter().map(|w| w.maxline_min).min().unwrap();
-        let mmax = wl.iter().map(|w| w.maxline_max).max().unwrap();
-        let accs: Vec<f64> = wl.iter().filter_map(|w| w.prediction_accuracy).collect();
-        let acc = if accs.is_empty() {
-            f64::NAN
-        } else {
-            accs.iter().sum::<f64>() / accs.len() as f64
-        };
-        let dirty: f64 = wl.iter().map(|w| w.avg_dirty_at_checkpoint).sum::<f64>() / n;
-        let wb: f64 = wl.iter().map(|w| w.avg_cleanings_per_interval).sum::<f64>() / n;
-        let stall: f64 = wl.iter().map(|w| w.stall_fraction).sum::<f64>() / n * 100.0;
-        let outs: f64 = reports.iter().map(|r| r.outages as f64).sum::<f64>() / n;
-        t.row([
-            trace.label().to_string(),
-            format!("{reconf:.1}"),
-            mmin.to_string(),
-            mmax.to_string(),
-            format!("{:.1}%", acc * 100.0),
-            format!("{dirty:.1}"),
-            format!("{wb:.1}"),
-            format!("{stall:.3}"),
-            format!("{outs:.1}"),
-        ]);
-    }
-    t.save("stats66");
+    ehsim_bench::figures::stats66(ehsim_workloads::Scale::Default).save("stats66");
 }

@@ -2,58 +2,6 @@
 //! requirement, NVM-cache requirement and performance across the cache
 //! schemes — derived from the implemented models (reserve energies come
 //! from each design's `worst_checkpoint_pj`).
-use ehsim::SimConfig;
-use ehsim_bench::Table;
-use ehsim_cache::designs::{NvCacheWb, NvSramCache, ReplayCache, VCacheWt};
-use ehsim_cache::{CacheDesign, CacheGeometry, ReplacementPolicy};
-use ehsim_mem::NvmEnergy;
-use wl_cache::WlCache;
-
 fn main() {
-    let geom = CacheGeometry::paper_default();
-    let e = NvmEnergy::default();
-    let wt = VCacheWt::new(geom, ReplacementPolicy::Lru);
-    let nv = NvCacheWb::new(geom, ReplacementPolicy::Lru);
-    let nvsram = NvSramCache::new(geom, ReplacementPolicy::Lru);
-    let replay = ReplayCache::new(geom, ReplacementPolicy::Lru, 64, 1.0);
-    let wl = WlCache::new();
-
-    let mut t = Table::new();
-    t.row([
-        "design",
-        "HW cost",
-        "energy-buffer req. (worst ckpt, nJ)",
-        "NVM cache req.",
-        "perf (Fig 4/5 gmean)",
-    ]);
-    let rows: [(&str, &str, f64, &str, &str); 5] = [
-        ("WTCache", "None", wt.worst_checkpoint_pj(&e) / 1e3, "No", "Low"),
-        ("NVCache", "Low", nv.worst_checkpoint_pj(&e) / 1e3, "Yes (full)", "Low"),
-        (
-            "NVSRAM(ideal)",
-            "High+",
-            nvsram.worst_checkpoint_pj(&e) / 1e3,
-            "Yes (large)",
-            "High",
-        ),
-        (
-            "ReplayCache",
-            "None (compiler)",
-            replay.worst_checkpoint_pj(&e) / 1e3,
-            "No",
-            "Medium",
-        ),
-        ("WL-Cache", "Low", wl.worst_checkpoint_pj(&e) / 1e3, "No", "High"),
-    ];
-    for (name, hw, nj, nvreq, perf) in rows {
-        t.row([
-            name.to_string(),
-            hw.to_string(),
-            format!("{nj:.2}"),
-            nvreq.to_string(),
-            perf.to_string(),
-        ]);
-    }
-    let _ = SimConfig::wl_cache(); // keep the dependency honest
-    t.save("table1");
+    ehsim_bench::figures::table1(ehsim_workloads::Scale::Default).save("table1");
 }

@@ -1,54 +1,5 @@
 //! Table 2: the simulation configuration in force (processor, cache,
 //! NVM timing, capacitor, voltage thresholds).
-use ehsim::SimConfig;
-use ehsim_bench::Table;
-use ehsim_energy::VoltageThresholds;
-
 fn main() {
-    let cfg = SimConfig::wl_cache();
-    let mut t = Table::new();
-    t.row(["parameter", "value"]);
-    t.row(["Processor", "1.0 GHz, 1 in-order core"]);
-    t.row([
-        "L1 D-cache".to_string(),
-        format!(
-            "{} B, {}-way, {} B block (paper geometry: 8 kB via --paper)",
-            cfg.geometry.size_bytes(),
-            cfg.geometry.ways(),
-            cfg.geometry.line_bytes()
-        ),
-    ]);
-    t.row([
-        "Cache latencies (SRAM hit/miss)".to_string(),
-        "0.3 ns / 0.1 ns".to_string(),
-    ]);
-    t.row([
-        "Cache latencies (NVRAM hit/miss)".to_string(),
-        "1.6 ns / 1.5 ns".to_string(),
-    ]);
-    let nt = &cfg.nvm_timing;
-    t.row([
-        "NVM (ReRAM) tCK/tBURST/tRCD/tCL/tWTR/tWR/tXAW (ns)".to_string(),
-        format!(
-            "{}/{}/{}/{}/{}/{}/{}",
-            nt.t_ck, nt.t_burst, nt.t_rcd, nt.t_cl, nt.t_wtr, nt.t_wr, nt.t_xaw
-        ),
-    ]);
-    t.row([
-        "Energy buffer (capacitor)".to_string(),
-        format!("{} uF", cfg.capacitor_uf),
-    ]);
-    let nv = VoltageThresholds::nv();
-    let ns = VoltageThresholds::nvsram();
-    let w2 = VoltageThresholds::wl(2, 8);
-    let w8 = VoltageThresholds::wl(8, 8);
-    t.row([
-        "Vbackup/restore".to_string(),
-        format!(
-            "NV({}/{}), NVSRAM({}/{}), WL({:.2}~{:.2}/{:.2}~{:.2})",
-            nv.v_backup, nv.v_on, ns.v_backup, ns.v_on, w2.v_backup, w8.v_backup, w2.v_on, w8.v_on
-        ),
-    ]);
-    t.row(["Vmin/max", "2.8 / 3.5"]);
-    t.save("table2");
+    ehsim_bench::figures::table2(ehsim_workloads::Scale::Default).save("table2");
 }

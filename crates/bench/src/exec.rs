@@ -1,0 +1,254 @@
+//! Parallel sweep executor with process-wide memoization.
+//!
+//! Every figure/table regeneration is a *sweep*: a batch of independent
+//! `(SimConfig, workload, scale)` simulations whose reports are then
+//! reduced into TSV rows. This module runs such batches across a pool
+//! of worker threads (one per CPU by default, overridable with the
+//! `EHSIM_JOBS` environment variable) and memoizes completed reports in
+//! a process-wide cache, so repeated configurations — most prominently
+//! the `NVSRAM(ideal)` baselines that almost every figure normalizes
+//! against — are simulated exactly once per process no matter how many
+//! figures request them.
+//!
+//! Guarantees:
+//!
+//! * **Deterministic results.** [`run_batch`] returns reports in
+//!   submission order, and simulations are pure functions of their
+//!   `(SimConfig, workload, scale)` key, so neither the worker count
+//!   nor the scheduling order can change any output byte. A regression
+//!   test compares engine-generated figures against a serial,
+//!   cache-free rerun byte for byte.
+//! * **Complete keys.** The memo key is the full `Debug` rendering of
+//!   the [`SimConfig`] (design, geometry, policies, trace, capacitor,
+//!   CPU/NVM/charging parameters, verify, fast-path knob — Rust's
+//!   shortest-round-trip float formatting makes this lossless) plus
+//!   the scale and workload index. Jobs carrying a custom power trace
+//!   are never memoized.
+//!
+//! Setting `EHSIM_SWEEP_SERIAL=1` bypasses both the pool and the cache
+//! (every job simulates inline, in order); the byte-identity test uses
+//! it to produce the serial reference.
+
+use ehsim::{Report, SimConfig, Simulator};
+use ehsim_workloads::Scale;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One simulation of the sweep: a configuration applied to workload
+/// number `workload` of the fixed 23-kernel suite at `scale`.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The configuration to simulate.
+    pub cfg: SimConfig,
+    /// Index into [`ehsim_workloads::all23`] (figure order).
+    pub workload: usize,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+impl Job {
+    /// Convenience constructor.
+    pub fn new(cfg: SimConfig, workload: usize, scale: Scale) -> Self {
+        Self {
+            cfg,
+            workload,
+            scale,
+        }
+    }
+}
+
+/// Snapshot of the executor's process-wide counters (for the
+/// `BENCH_sweep.json` emitter and progress lines).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecStats {
+    /// Simulations actually executed.
+    pub sims_run: u64,
+    /// Batch entries satisfied from the memo cache (or deduplicated
+    /// within a batch).
+    pub memo_hits: u64,
+    /// Total instructions retired across all executed simulations.
+    pub simulated_instructions: u64,
+}
+
+struct Counters {
+    sims: AtomicU64,
+    memo_hits: AtomicU64,
+    instructions: AtomicU64,
+}
+
+fn counters() -> &'static Counters {
+    static C: OnceLock<Counters> = OnceLock::new();
+    C.get_or_init(|| Counters {
+        sims: AtomicU64::new(0),
+        memo_hits: AtomicU64::new(0),
+        instructions: AtomicU64::new(0),
+    })
+}
+
+fn cache() -> &'static Mutex<HashMap<String, Arc<Report>>> {
+    static C: OnceLock<Mutex<HashMap<String, Arc<Report>>>> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Current executor counters.
+pub fn stats() -> ExecStats {
+    let c = counters();
+    ExecStats {
+        sims_run: c.sims.load(Ordering::Relaxed),
+        memo_hits: c.memo_hits.load(Ordering::Relaxed),
+        simulated_instructions: c.instructions.load(Ordering::Relaxed),
+    }
+}
+
+/// Worker count: `EHSIM_JOBS` if set (minimum 1), otherwise the
+/// machine's available parallelism.
+pub fn jobs() -> usize {
+    std::env::var("EHSIM_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn serial_uncached() -> bool {
+    std::env::var_os("EHSIM_SWEEP_SERIAL").is_some_and(|v| v != "0")
+}
+
+/// Memo key, or `None` when the job must not be memoized (custom
+/// traces have no stable identity).
+fn memo_key(job: &Job) -> Option<String> {
+    if job.cfg.custom_trace.is_some() {
+        return None;
+    }
+    Some(format!("{:?}|{:?}|{}", job.cfg, job.scale, job.workload))
+}
+
+/// Runs one job to completion, panicking with context on simulation
+/// errors (the harness treats them as fatal).
+fn simulate(job: &Job) -> Report {
+    let workloads = ehsim_workloads::all23(job.scale);
+    let w = workloads
+        .get(job.workload)
+        .unwrap_or_else(|| panic!("workload index {} out of range", job.workload));
+    let label = job.cfg.design.label();
+    let trace = job.cfg.trace_label();
+    let report = Simulator::new(job.cfg.clone())
+        .run(w.as_ref())
+        .unwrap_or_else(|e| panic!("{label} / {} on {trace}: {e}", w.name()));
+    let c = counters();
+    c.sims.fetch_add(1, Ordering::Relaxed);
+    c.instructions
+        .fetch_add(report.instructions, Ordering::Relaxed);
+    report
+}
+
+enum Slot {
+    Done(Arc<Report>),
+    Pending(usize),
+}
+
+/// Runs a batch of jobs and returns their reports in submission order.
+///
+/// Jobs already in the memo cache are returned without simulating;
+/// duplicate keys within the batch simulate once. The remaining misses
+/// execute on a [`std::thread::scope`] work queue of [`jobs`] workers.
+pub fn run_batch(batch: &[Job]) -> Vec<Arc<Report>> {
+    if serial_uncached() {
+        return batch.iter().map(|j| Arc::new(simulate(j))).collect();
+    }
+
+    // Resolve against the cache and deduplicate within the batch.
+    let mut slots: Vec<Slot> = Vec::with_capacity(batch.len());
+    let mut misses: Vec<&Job> = Vec::new();
+    let mut miss_keys: Vec<Option<String>> = Vec::new();
+    {
+        let cache = cache().lock().expect("sweep cache poisoned");
+        let mut pending: HashMap<String, usize> = HashMap::new();
+        for job in batch {
+            match memo_key(job) {
+                Some(key) => {
+                    if let Some(hit) = cache.get(&key) {
+                        counters().memo_hits.fetch_add(1, Ordering::Relaxed);
+                        slots.push(Slot::Done(Arc::clone(hit)));
+                    } else if let Some(&ix) = pending.get(&key) {
+                        counters().memo_hits.fetch_add(1, Ordering::Relaxed);
+                        slots.push(Slot::Pending(ix));
+                    } else {
+                        let ix = misses.len();
+                        misses.push(job);
+                        miss_keys.push(Some(key.clone()));
+                        pending.insert(key, ix);
+                        slots.push(Slot::Pending(ix));
+                    }
+                }
+                None => {
+                    let ix = misses.len();
+                    misses.push(job);
+                    miss_keys.push(None);
+                    slots.push(Slot::Pending(ix));
+                }
+            }
+        }
+    }
+
+    // Execute the misses on the worker pool.
+    let results: Vec<OnceLock<Arc<Report>>> = (0..misses.len()).map(|_| OnceLock::new()).collect();
+    if !misses.is_empty() {
+        let workers = jobs().min(misses.len());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= misses.len() {
+                        break;
+                    }
+                    let report = Arc::new(simulate(misses[i]));
+                    let _ = results[i].set(report);
+                });
+            }
+        });
+    }
+
+    // Publish new results and assemble in submission order.
+    let results: Vec<Arc<Report>> = results
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .expect("worker completed every claimed job")
+        })
+        .collect();
+    {
+        let mut cache = cache().lock().expect("sweep cache poisoned");
+        for (key, report) in miss_keys.iter().zip(&results) {
+            if let Some(key) = key {
+                cache.insert(key.clone(), Arc::clone(report));
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            Slot::Done(r) => r,
+            Slot::Pending(ix) => Arc::clone(&results[ix]),
+        })
+        .collect()
+}
+
+/// Runs the full 23-workload suite for each configuration, sharing one
+/// batch (and therefore the worker pool and the memo cache) across all
+/// of them. Returns one report vector per configuration, in order.
+pub fn run_suites(cfgs: &[SimConfig], scale: Scale) -> Vec<Vec<Arc<Report>>> {
+    let count = ehsim_workloads::all23(scale).len();
+    let batch: Vec<Job> = cfgs
+        .iter()
+        .flat_map(|cfg| (0..count).map(move |w| Job::new(cfg.clone(), w, scale)))
+        .collect();
+    let flat = run_batch(&batch);
+    flat.chunks(count).map(|c| c.to_vec()).collect()
+}

@@ -10,11 +10,16 @@
 
 use ehsim::{Report, SimConfig, Simulator};
 use ehsim_mem::Workload;
-use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::Path;
 
+pub mod exec;
+pub mod figures;
+
 /// Runs one workload under one configuration, panicking with context on
-/// simulation errors (the harness treats them as fatal).
+/// simulation errors (the harness treats them as fatal). This is the
+/// direct, uncached entry point; sweeps should go through
+/// [`exec::run_batch`] to get parallelism and memoization.
 pub fn run(cfg: SimConfig, workload: &dyn Workload) -> Report {
     let label = cfg.design.label();
     let trace = cfg.trace.label();
@@ -35,19 +40,33 @@ impl Table {
         Self::default()
     }
 
-    /// Appends one row of cells.
+    /// Appends one row of cells: each cell goes straight into the
+    /// accumulator (tab-separated, newline-terminated) and the finished
+    /// line is mirrored to stdout through a single locked handle — no
+    /// intermediate per-cell allocations.
     pub fn row<I, S>(&mut self, cells: I)
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let line = cells
-            .into_iter()
-            .map(|c| c.as_ref().to_string())
-            .collect::<Vec<_>>()
-            .join("\t");
-        println!("{line}");
-        let _ = writeln!(self.out, "{line}");
+        let start = self.out.len();
+        let mut first = true;
+        for c in cells {
+            if !first {
+                self.out.push('\t');
+            }
+            first = false;
+            self.out.push_str(c.as_ref());
+        }
+        self.out.push('\n');
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = lock.write_all(&self.out.as_bytes()[start..]);
+    }
+
+    /// The accumulated TSV content (what [`Table::save`] would write).
+    pub fn contents(&self) -> &str {
+        &self.out
     }
 
     /// Writes the accumulated TSV under `results/<name>.tsv`
@@ -83,32 +102,14 @@ pub fn suite_split<T>(all: &[T]) -> (&[T], &[T]) {
     all.split_at(15)
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ehsim_workloads::prelude::*;
-
-    #[test]
-    fn run_executes_a_small_workload() {
-        let r = run(SimConfig::wl_cache(), &Sha::small());
-        assert!(r.total_time_ps > 0);
-    }
-
-    #[test]
-    fn suite_split_is_15_8() {
-        let v: Vec<u32> = (0..23).collect();
-        let (a, b) = suite_split(&v);
-        assert_eq!(a.len(), 15);
-        assert_eq!(b.len(), 8);
-    }
-}
-
 /// Runs the full 23-workload suite under `cfg` at `scale`, in figure
-/// order.
+/// order, through the parallel memoizing executor (see [`exec`]).
 pub fn run_suite(cfg: &SimConfig, scale: ehsim_workloads::Scale) -> Vec<Report> {
-    ehsim_workloads::all23(scale)
+    exec::run_suites(std::slice::from_ref(cfg), scale)
+        .pop()
+        .expect("one suite per config")
         .iter()
-        .map(|w| run(cfg.clone(), w.as_ref()))
+        .map(|r| (**r).clone())
         .collect()
 }
 
@@ -136,78 +137,31 @@ pub fn with_gmeans(values: &[f64]) -> Vec<f64> {
 /// speedup of each design relative to NVSRAM(ideal) under `trace`,
 /// with the paper's per-suite gmean columns. Writes `results/<name>.tsv`.
 pub fn speedup_figure(trace: ehsim_energy::TraceKind, name: &str) {
-    use ehsim_workloads::Scale;
-    let mut t = Table::new();
-    let mut header = vec!["design".to_string()];
-    header.extend(workload_labels());
-    header.extend(
-        ["gmean(Media)", "gmean(Mi)", "gmean(Total)"]
-            .iter()
-            .map(|s| s.to_string()),
-    );
-    t.row(header);
-
-    let base = run_suite(&SimConfig::nvsram().with_trace(trace), Scale::Default);
-    for cfg in SimConfig::all_designs() {
-        let label = cfg.design.label().to_string();
-        let reports = run_suite(&cfg.with_trace(trace), Scale::Default);
-        let speedups: Vec<f64> = reports
-            .iter()
-            .zip(&base)
-            .map(|(r, b)| r.speedup_vs(b))
-            .collect();
-        let mut row = vec![label];
-        row.extend(with_gmeans(&speedups).iter().map(|v| f3(*v)));
-        t.row(row);
-    }
-    t.save(name);
+    figures::speedup(trace, ehsim_workloads::Scale::Default).save(name);
 }
 
 /// Regenerates Fig 11/12: adaptive vs best-static WL-Cache (per cache
 /// replacement policy) relative to NVSRAM(ideal) under `trace`.
 pub fn adaptive_figure(trace: ehsim_energy::TraceKind, name: &str) {
-    use ehsim_cache::ReplacementPolicy;
-    use ehsim_workloads::Scale;
-    let mut t = Table::new();
-    let mut header = vec!["config".to_string()];
-    header.extend(workload_labels());
-    header.extend(
-        ["gmean(Media)", "gmean(Mi)", "gmean(Total)"]
-            .iter()
-            .map(|s| s.to_string()),
-    );
-    t.row(header);
+    figures::adaptive(trace, ehsim_workloads::Scale::Default).save(name);
+}
 
-    let base = run_suite(&SimConfig::nvsram().with_trace(trace), Scale::Default);
-    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::Fifo] {
-        // Best static: per application, the best of maxline 2/4/6/8
-        // (exactly how the paper picks "Best" from the Fig 9 sweep).
-        let mut best = vec![f64::MIN; 23];
-        for maxline in [2usize, 4, 6, 8] {
-            let cfg = SimConfig::wl_cache_static(maxline)
-                .with_cache_policy(policy)
-                .with_trace(trace);
-            let reports = run_suite(&cfg, Scale::Default);
-            for (i, (r, b)) in reports.iter().zip(&base).enumerate() {
-                best[i] = best[i].max(r.speedup_vs(b));
-            }
-        }
-        let mut row = vec![format!("{}(Best)", policy.label())];
-        row.extend(with_gmeans(&best).iter().map(|v| f3(*v)));
-        t.row(row);
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehsim_workloads::prelude::*;
 
-        let cfg = SimConfig::wl_cache()
-            .with_cache_policy(policy)
-            .with_trace(trace);
-        let reports = run_suite(&cfg, Scale::Default);
-        let adap: Vec<f64> = reports
-            .iter()
-            .zip(&base)
-            .map(|(r, b)| r.speedup_vs(b))
-            .collect();
-        let mut row = vec![format!("{}(Adap)", policy.label())];
-        row.extend(with_gmeans(&adap).iter().map(|v| f3(*v)));
-        t.row(row);
+    #[test]
+    fn run_executes_a_small_workload() {
+        let r = run(SimConfig::wl_cache(), &Sha::small());
+        assert!(r.total_time_ps > 0);
     }
-    t.save(name);
+
+    #[test]
+    fn suite_split_is_15_8() {
+        let v: Vec<u32> = (0..23).collect();
+        let (a, b) = suite_split(&v);
+        assert_eq!(a.len(), 15);
+        assert_eq!(b.len(), 8);
+    }
 }

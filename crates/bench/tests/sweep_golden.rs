@@ -1,0 +1,43 @@
+//! Byte-identity of engine-generated figures against a serial
+//! reference.
+//!
+//! The sweep executor parallelizes simulations and memoizes repeated
+//! configurations; neither may change a single output byte. Setting
+//! `EHSIM_SWEEP_SERIAL=1` makes the executor run every job inline, in
+//! submission order, without touching the cache — the exact behavior
+//! of the pre-engine serial harness. This test renders fig04, fig07
+//! and fig13a both ways at `Scale::Small` and compares the TSVs.
+//!
+//! Kept as a single `#[test]` because the serial switch is a
+//! process-wide environment variable.
+
+use ehsim_bench::figures::{self, FigureFn};
+use ehsim_workloads::Scale;
+
+#[test]
+fn engine_figures_match_serial_reference() {
+    let cases: &[(&str, FigureFn)] = &[
+        ("fig04", figures::fig04),
+        ("fig07", figures::fig07),
+        ("fig13a", figures::fig13a),
+    ];
+
+    // Engine side first: parallel workers plus the memo cache.
+    let engine: Vec<String> = cases
+        .iter()
+        .map(|(_, f)| f(Scale::Small).contents().to_string())
+        .collect();
+
+    // Serial, cache-free reference.
+    std::env::set_var("EHSIM_SWEEP_SERIAL", "1");
+    let serial: Vec<String> = cases
+        .iter()
+        .map(|(_, f)| f(Scale::Small).contents().to_string())
+        .collect();
+    std::env::remove_var("EHSIM_SWEEP_SERIAL");
+
+    for ((name, _), (e, s)) in cases.iter().zip(engine.iter().zip(&serial)) {
+        assert!(e.lines().count() > 1, "{name}: produced no data rows");
+        assert_eq!(e, s, "{name}: engine and serial TSVs differ");
+    }
+}

@@ -60,9 +60,7 @@ impl MemCtx<'_> {
     /// Synchronously reads one full line at `base` from NVM into `buf`.
     /// Returns the absolute completion time.
     pub fn sync_line_read(&mut self, base: u32, buf: &mut [u8]) -> Ps {
-        let (_, done) = self
-            .port
-            .schedule(self.now, self.timing.line_read_ps(), 0);
+        let (_, done) = self.port.schedule(self.now, self.timing.line_read_ps(), 0);
         self.nvm.read_line(base, buf);
         let bytes = buf.len() as u32;
         self.meter.add(
@@ -215,7 +213,7 @@ mod tests {
     #[test]
     fn sync_line_read_copies_and_meters() {
         let (_, meter, stats) = with_ctx(|ctx| {
-            ctx.nvm.write_line(0x40, &vec![7u8; 64]);
+            ctx.nvm.write_line(0x40, &[7u8; 64]);
             let mut buf = vec![0u8; 64];
             let done = ctx.sync_line_read(0x40, &mut buf);
             assert!(buf.iter().all(|&b| b == 7));
@@ -238,8 +236,8 @@ mod tests {
     #[test]
     fn port_contention_serialises_operations() {
         with_ctx(|ctx| {
-            let d1 = ctx.async_line_write(0x000, &vec![1u8; 64]);
-            let d2 = ctx.sync_line_write(0x040, &vec![2u8; 64]);
+            let d1 = ctx.async_line_write(0x000, &[1u8; 64]);
+            let d2 = ctx.sync_line_write(0x040, &[2u8; 64]);
             // Second write cannot start before the first's recovery ends.
             assert!(d2 >= d1 + ctx.timing.line_write_recovery_ps());
         });

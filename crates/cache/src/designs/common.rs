@@ -88,7 +88,8 @@ impl WbCore {
         let done = ctx.sync_line_read(base, &mut buf);
         ctx.now = done;
         self.array.fill(victim, addr, &buf);
-        ctx.meter.add(EnergyCategory::CacheWrite, self.tech.write_pj);
+        ctx.meter
+            .add(EnergyCategory::CacheWrite, self.tech.write_pj);
         ctx.now += self.tech.write_hit_ps;
         ctx.stats.line_fills += 1;
         (victim, false)
@@ -131,7 +132,8 @@ impl WbCore {
         }
         let was_dirty = self.array.is_dirty(sw);
         ctx.now += self.tech.write_hit_ps;
-        ctx.meter.add(EnergyCategory::CacheWrite, self.tech.write_pj);
+        ctx.meter
+            .add(EnergyCategory::CacheWrite, self.tech.write_pj);
         self.array.write(sw, addr, size, value);
         (sw, was_dirty, hit)
     }

@@ -69,10 +69,7 @@ impl CacheDesign for NvCacheWb {
         0.0
     }
 
-    fn persistent_overlay(
-        &self,
-        nvm: &ehsim_mem::FunctionalMem,
-    ) -> ehsim_mem::FunctionalMem {
+    fn persistent_overlay(&self, nvm: &ehsim_mem::FunctionalMem) -> ehsim_mem::FunctionalMem {
         // The whole array is non-volatile: every valid line (dirty ones
         // in particular) shadows main memory.
         let mut view = nvm.clone();

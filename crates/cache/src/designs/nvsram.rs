@@ -108,10 +108,7 @@ impl CacheDesign for NvSramCache {
         self.ckpt_line_pj * f64::from(self.core.array().geometry().n_lines())
     }
 
-    fn persistent_overlay(
-        &self,
-        nvm: &ehsim_mem::FunctionalMem,
-    ) -> ehsim_mem::FunctionalMem {
+    fn persistent_overlay(&self, nvm: &ehsim_mem::FunctionalMem) -> ehsim_mem::FunctionalMem {
         // Right after a checkpoint the SRAM contents equal the NV copy,
         // which survives the outage and is restored warm.
         let mut view = nvm.clone();

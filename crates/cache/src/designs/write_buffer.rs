@@ -89,11 +89,7 @@ impl WriteBufferCache {
 
     /// Starts draining the oldest idle entry.
     fn drain_one(&mut self, ctx: &mut MemCtx<'_>) {
-        if let Some(e) = self
-            .buffer
-            .iter_mut()
-            .find(|e| e.draining_until.is_none())
-        {
+        if let Some(e) = self.buffer.iter_mut().find(|e| e.draining_until.is_none()) {
             let done = {
                 let (_, done) = ctx.port.schedule(
                     ctx.now,
@@ -195,8 +191,7 @@ impl CacheDesign for WriteBufferCache {
                     ctx.meter
                         .add(EnergyCategory::MemRead, ctx.energy.read_pj(line_bytes));
                     ctx.stats.nvm_read_bytes += u64::from(line_bytes);
-                    let (_, done) =
-                        ctx.port.schedule(ctx.now, ctx.timing.line_read_ps(), 0);
+                    let (_, done) = ctx.port.schedule(ctx.now, ctx.timing.line_read_ps(), 0);
                     ctx.now = done;
                 }
                 self.buffer.push(BufEntry {
@@ -374,11 +369,8 @@ mod tests {
     #[test]
     fn reserve_scales_with_buffer_capacity() {
         let e = NvmEnergy::default();
-        let small = WriteBufferCache::new(
-            CacheGeometry::new(512, 2, 64),
-            ReplacementPolicy::Lru,
-            2,
-        );
+        let small =
+            WriteBufferCache::new(CacheGeometry::new(512, 2, 64), ReplacementPolicy::Lru, 2);
         assert!(wbuf().worst_checkpoint_pj(&e) > small.worst_checkpoint_pj(&e));
     }
 }

@@ -28,7 +28,7 @@ impl CacheGeometry {
             "line size must be a power of two"
         );
         assert!(
-            size_bytes % (ways * line_bytes) == 0,
+            size_bytes.is_multiple_of(ways * line_bytes),
             "size must be a multiple of ways * line_bytes"
         );
         let n_sets = size_bytes / (ways * line_bytes);

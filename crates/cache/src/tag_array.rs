@@ -112,7 +112,7 @@ impl TagArray {
                 ReplacementPolicy::Lru => l.last_use,
                 ReplacementPolicy::Fifo => l.filled_at,
             };
-            if best.map_or(true, |(k, _)| key < k) {
+            if best.is_none_or(|(k, _)| key < k) {
                 best = Some((key, sw));
             }
         }

@@ -267,8 +267,8 @@ pub fn config_of(opt: &RunOptions) -> Result<SimConfig, String> {
         .with_trace(trace_of(&opt.trace)?)
         .with_capacitor_uf(opt.capacitor_uf);
     if let Some(path) = &opt.trace_file {
-        let trace = ehsim_energy::load_trace(path)
-            .map_err(|e| format!("--trace-file {path}: {e}"))?;
+        let trace =
+            ehsim_energy::load_trace(path).map_err(|e| format!("--trace-file {path}: {e}"))?;
         cfg = cfg.with_custom_trace(trace);
     }
     if opt.verify {
@@ -348,7 +348,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
         Command::Run(opt) => {
             let cfg = config_of(opt)?;
             let w = workload_of(&opt.workload, opt.scale)?;
-            let r = Simulator::new(cfg).run(w.as_ref()).map_err(|e| e.to_string())?;
+            let r = Simulator::new(cfg)
+                .run(w.as_ref())
+                .map_err(|e| e.to_string())?;
             Ok(render_report(&r))
         }
         Command::Compare(opt) => {
@@ -362,7 +364,9 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 let mut o = opt.clone();
                 o.design = d.into();
                 let cfg = config_of(&o)?;
-                let r = Simulator::new(cfg).run(w.as_ref()).map_err(|e| e.to_string())?;
+                let r = Simulator::new(cfg)
+                    .run(w.as_ref())
+                    .map_err(|e| e.to_string())?;
                 let _ = writeln!(
                     s,
                     "{:<15} {:>10.3} {:>8} {:>9.2} {:>11.2}",
@@ -434,12 +438,16 @@ mod tests {
     #[test]
     fn all_designs_resolve() {
         for d in ["wl", "wl-dyn", "nvsram", "wt", "nvcache", "replay", "wbuf"] {
-            let mut opt = RunOptions::default();
-            opt.design = d.into();
+            let opt = RunOptions {
+                design: d.into(),
+                ..Default::default()
+            };
             assert!(config_of(&opt).is_ok(), "{d}");
         }
-        let mut opt = RunOptions::default();
-        opt.design = "bogus".into();
+        let opt = RunOptions {
+            design: "bogus".into(),
+            ..Default::default()
+        };
         assert!(config_of(&opt).is_err());
     }
 

@@ -228,7 +228,7 @@ mod tests {
         let mut c = ctl(AdaptationMode::Adaptive);
         c.on_interval_end(1_000);
         let th = c.on_interval_end(2_000); // 2× growth: raise
-        assert_eq!(th.maxline(), 6.min(6)); // already at cap (6)
+        assert_eq!(th.maxline(), 6); // already at cap (6)
         assert_eq!(c.reconfigurations(), 0, "cap prevents raising past 6");
     }
 

@@ -160,10 +160,7 @@ impl DirtyQueue {
         let mut dropped = 0;
         loop {
             let candidate = match policy {
-                DqPolicy::Fifo => self
-                    .entries
-                    .iter()
-                    .position(|e| e.state == DqState::Dirty),
+                DqPolicy::Fifo => self.entries.iter().position(|e| e.state == DqState::Dirty),
                 DqPolicy::Lru => {
                     let mut best: Option<(u64, usize)> = None;
                     let mut pending_drop: Option<usize> = None;
@@ -173,7 +170,7 @@ impl DirtyQueue {
                         }
                         match stamp_of(e.base) {
                             Some(stamp) => {
-                                if best.map_or(true, |(s, _)| stamp < s) {
+                                if best.is_none_or(|(s, _)| stamp < s) {
                                     best = Some((stamp, i));
                                 }
                             }
@@ -307,8 +304,7 @@ mod tests {
         let mut q = DirtyQueue::new(8);
         q.push(0x100); // will become stale (e.g. evicted)
         q.push(0x200);
-        let (sel, dropped) =
-            q.select_for_cleaning(DqPolicy::Fifo, |b| (b == 0x200).then_some(1));
+        let (sel, dropped) = q.select_for_cleaning(DqPolicy::Fifo, |b| (b == 0x200).then_some(1));
         assert_eq!(sel, Some(0x200));
         assert_eq!(dropped, 1);
         assert_eq!(q.len(), 1);

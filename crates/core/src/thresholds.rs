@@ -86,10 +86,7 @@ impl Thresholds {
             });
         }
         if waterline >= maxline {
-            return Err(ThresholdsError::WaterlineNotBelowMaxline {
-                waterline,
-                maxline,
-            });
+            return Err(ThresholdsError::WaterlineNotBelowMaxline { waterline, maxline });
         }
         Ok(Self {
             dq_capacity,

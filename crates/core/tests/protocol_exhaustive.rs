@@ -127,12 +127,7 @@ fn run_sequence(seq: &[Event]) {
     power_cycle(&mut cache, &mut h, seq, len);
 }
 
-fn power_cycle(
-    cache: &mut wl_cache::WlCache,
-    h: &mut Harness,
-    seq: &[Event],
-    step: usize,
-) {
+fn power_cycle(cache: &mut wl_cache::WlCache, h: &mut Harness, seq: &[Event], step: usize) {
     let mut ctx = h.ctx();
     let done = cache.checkpoint(&mut ctx);
     h.now = done;

@@ -14,10 +14,18 @@
 //! simulations land near the paper's reported outage counts
 //! (33/45/121/12/9 for tr1/tr2/tr3/solar/thermal, §6.6); see DESIGN.md
 //! §4, substitution 2.
+//!
+//! Storage is shared: a [`PowerTrace`] holds its segments (plus
+//! precomputed prefix sums of segment start times and energies) behind
+//! an `Arc`, so [`PowerTrace::cursor`] hands out cursors without deep
+//! copies and the cumulative-harvest function `H(t)` is evaluable in
+//! O(log segments) at any absolute time — the basis of the simulator's
+//! energy-budgeted fast path.
 
 use ehsim_mem::{Pj, Ps};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
 
 /// 1 µW sustained for 1 ps delivers 1e-6 pJ.
 const UW_PS_TO_PJ: f64 = 1e-6;
@@ -69,7 +77,7 @@ impl TraceKind {
             // voltage monitor never fires — "no power failure" mode.
             TraceKind::None => PowerTrace::constant(1e7),
             TraceKind::Rf1 => PowerTrace::two_state(
-                TRACE_SEED ^ 0,
+                TRACE_SEED,
                 TwoState {
                     p_good: 0.55,
                     good_uw: (8_000.0, 20_000.0),
@@ -142,12 +150,53 @@ struct Segment {
     power_uw: f64,
 }
 
+/// Immutable trace storage shared between a [`PowerTrace`] and all of
+/// its cursors.
+#[derive(Debug)]
+struct TraceData {
+    segments: Vec<Segment>,
+    /// `start_ps[i]` is the start time of segment `i` within one cycle;
+    /// `start_ps[len]` is the cycle length.
+    start_ps: Vec<Ps>,
+    /// `prefix_pj[i]` is the energy harvested in `[0, start_ps[i])` of
+    /// one cycle; `prefix_pj[len]` is the whole-cycle energy.
+    prefix_pj: Vec<f64>,
+    total_ps: Ps,
+    cycle_pj: f64,
+    max_power_uw: f64,
+}
+
+impl TraceData {
+    /// Index of the segment containing in-cycle offset `rem`.
+    fn seg_index(&self, rem: Ps) -> usize {
+        debug_assert!(rem < self.total_ps);
+        self.start_ps.partition_point(|&s| s <= rem) - 1
+    }
+
+    /// Cumulative harvested energy `H(t)` in pJ over `[0, abs)`,
+    /// where `abs` is an absolute time from the trace origin (the trace
+    /// cycles indefinitely).
+    fn h_at(&self, abs: Ps) -> f64 {
+        let cycles = abs / self.total_ps;
+        let rem = abs % self.total_ps;
+        let ix = self.seg_index(rem.min(self.total_ps - 1));
+        cycles as f64 * self.cycle_pj
+            + self.prefix_pj[ix]
+            + (rem - self.start_ps[ix]) as f64 * self.segments[ix].power_uw * UW_PS_TO_PJ
+    }
+}
+
 /// A harvesting power trace: piecewise-constant power over time, cycled
 /// indefinitely.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PowerTrace {
-    segments: Vec<Segment>,
-    total_ps: Ps,
+    data: Arc<TraceData>,
+}
+
+impl PartialEq for PowerTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.data.segments == other.data.segments
+    }
 }
 
 impl PowerTrace {
@@ -169,22 +218,38 @@ impl PowerTrace {
     /// is negative/not finite.
     pub fn from_segments(segments: Vec<(Ps, f64)>) -> Self {
         assert!(!segments.is_empty(), "trace needs at least one segment");
+        let mut start_ps = Vec::with_capacity(segments.len() + 1);
+        let mut prefix_pj = Vec::with_capacity(segments.len() + 1);
         let mut total: Ps = 0;
-        let segs = segments
+        let mut energy = 0.0f64;
+        let mut max_power = 0.0f64;
+        let segs: Vec<Segment> = segments
             .into_iter()
             .map(|(d, p)| {
                 assert!(d > 0, "segment duration must be positive");
                 assert!(p >= 0.0 && p.is_finite(), "power must be finite and >= 0");
+                start_ps.push(total);
+                prefix_pj.push(energy);
                 total += d;
+                energy += d as f64 * p * UW_PS_TO_PJ;
+                max_power = max_power.max(p);
                 Segment {
                     duration_ps: d,
                     power_uw: p,
                 }
             })
             .collect();
+        start_ps.push(total);
+        prefix_pj.push(energy);
         Self {
-            segments: segs,
-            total_ps: total,
+            data: Arc::new(TraceData {
+                segments: segs,
+                start_ps,
+                prefix_pj,
+                total_ps: total,
+                cycle_pj: energy,
+                max_power_uw: max_power,
+            }),
         }
     }
 
@@ -212,68 +277,87 @@ impl PowerTrace {
 
     /// Length of one cycle of the trace, in picoseconds.
     pub fn total_ps(&self) -> Ps {
-        self.total_ps
+        self.data.total_ps
     }
 
     /// Time-weighted mean power in µW over one cycle.
     pub fn mean_power_uw(&self) -> f64 {
         let sum: f64 = self
+            .data
             .segments
             .iter()
             .map(|s| s.power_uw * s.duration_ps as f64)
             .sum();
-        sum / self.total_ps as f64
+        sum / self.data.total_ps as f64
+    }
+
+    /// The highest instantaneous power (µW) anywhere in the trace — an
+    /// upper bound on the harvest rate, used by the simulator's
+    /// energy-budget scheduler.
+    pub fn max_power_uw(&self) -> f64 {
+        self.data.max_power_uw
     }
 
     /// Iterates over the trace's `(duration_ps, power_uw)` segments.
     pub fn segments_iter(&self) -> impl Iterator<Item = (Ps, f64)> + '_ {
-        self.segments.iter().map(|s| (s.duration_ps, s.power_uw))
+        self.data
+            .segments
+            .iter()
+            .map(|s| (s.duration_ps, s.power_uw))
     }
 
-    /// Creates an owning cursor positioned at the start of the trace.
+    /// Creates a cursor positioned at the start of the trace.
     ///
-    /// The cursor clones the trace (segments are immutable and cheap to
-    /// share), so it can live independently inside a simulator.
+    /// The cursor shares the trace's segment storage (behind an `Arc`),
+    /// so this is O(1) and allocation-free no matter how many machines
+    /// hold cursors into the same trace.
     pub fn cursor(&self) -> TraceCursor {
         TraceCursor {
-            trace: self.clone(),
-            seg_ix: 0,
-            offset_ps: 0,
+            data: Arc::clone(&self.data),
+            pos_ps: 0,
         }
     }
 }
 
 /// A position within a [`PowerTrace`], advancing monotonically and
 /// wrapping around at the end of the trace.
+///
+/// All queries are pure functions of the position: [`TraceCursor::peek`]
+/// evaluates harvested energy over a future window without moving, and
+/// [`TraceCursor::advance`] is exactly `peek` plus a position update, so
+/// splitting one advance into many (or merging many into one) yields
+/// bit-identical totals — the property the simulator's fast path relies
+/// on.
 #[derive(Debug, Clone)]
 pub struct TraceCursor {
-    trace: PowerTrace,
-    seg_ix: usize,
-    offset_ps: Ps,
+    data: Arc<TraceData>,
+    pos_ps: Ps,
 }
 
 impl TraceCursor {
     /// Instantaneous harvesting power (µW) at the cursor.
     pub fn power_uw(&self) -> f64 {
-        self.trace.segments[self.seg_ix].power_uw
+        let rem = self.pos_ps % self.data.total_ps;
+        self.data.segments[self.data.seg_index(rem)].power_uw
+    }
+
+    /// The trace-wide maximum instantaneous power (µW).
+    pub fn max_power_uw(&self) -> f64 {
+        self.data.max_power_uw
+    }
+
+    /// Energy (pJ) that will be harvested during the next `dt`
+    /// picoseconds, without advancing the cursor.
+    pub fn peek(&self, dt: Ps) -> Pj {
+        let h0 = self.data.h_at(self.pos_ps);
+        self.data.h_at(self.pos_ps.saturating_add(dt)) - h0
     }
 
     /// Advances the cursor by `dt` picoseconds, returning the energy (pJ)
     /// harvested during that span.
-    pub fn advance(&mut self, mut dt: Ps) -> Pj {
-        let mut harvested = 0.0;
-        while dt > 0 {
-            let seg = &self.trace.segments[self.seg_ix];
-            let left = seg.duration_ps - self.offset_ps;
-            let step = left.min(dt);
-            harvested += seg.power_uw * step as f64 * UW_PS_TO_PJ;
-            dt -= step;
-            self.offset_ps += step;
-            if self.offset_ps == seg.duration_ps {
-                self.offset_ps = 0;
-                self.seg_ix = (self.seg_ix + 1) % self.trace.segments.len();
-            }
-        }
+    pub fn advance(&mut self, dt: Ps) -> Pj {
+        let harvested = self.peek(dt);
+        self.pos_ps = self.pos_ps.saturating_add(dt);
         harvested
     }
 
@@ -285,28 +369,25 @@ impl TraceCursor {
     /// or `None` if the target cannot be reached within `max_ps` (the
     /// cursor is then `max_ps` further along).
     pub fn time_to_harvest(&mut self, target_pj: Pj, max_ps: Ps) -> Option<Ps> {
-        let mut remaining = target_pj;
-        let mut elapsed: Ps = 0;
-        while remaining > 0.0 {
-            if elapsed >= max_ps {
-                return None;
-            }
-            let seg = &self.trace.segments[self.seg_ix];
-            let left = seg.duration_ps - self.offset_ps;
-            let budget = left.min(max_ps - elapsed);
-            let seg_pj = seg.power_uw * budget as f64 * UW_PS_TO_PJ;
-            if seg_pj >= remaining && seg.power_uw > 0.0 {
-                // Finishes within this segment.
-                let need_ps = (remaining / (seg.power_uw * UW_PS_TO_PJ)).ceil() as Ps;
-                let need_ps = need_ps.min(budget);
-                self.advance(need_ps);
-                return Some(elapsed + need_ps);
-            }
-            remaining -= seg_pj;
-            elapsed += budget;
-            self.advance(budget);
+        if target_pj <= 0.0 {
+            return Some(0);
         }
-        Some(elapsed)
+        if self.peek(max_ps) < target_pj {
+            self.pos_ps = self.pos_ps.saturating_add(max_ps);
+            return None;
+        }
+        // Monotone bisection for the smallest dt with peek(dt) >= target.
+        let (mut lo, mut hi) = (0u64, max_ps);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.peek(mid) >= target_pj {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        self.pos_ps += hi;
+        Some(hi)
     }
 }
 
@@ -345,6 +426,26 @@ mod tests {
     }
 
     #[test]
+    fn peek_matches_advance_and_is_pure() {
+        let t = PowerTrace::from_segments(vec![(250, 7.0), (750, 2.0), (100, 0.0)]);
+        let mut c = t.cursor();
+        c.advance(123);
+        let preview = c.peek(4_321);
+        assert_eq!(preview, c.peek(4_321), "peek must not move the cursor");
+        assert_eq!(preview, c.advance(4_321));
+    }
+
+    #[test]
+    fn split_advances_sum_to_whole() {
+        let t = TraceKind::Rf1.build();
+        let mut split = t.cursor();
+        let mut whole = t.cursor();
+        let parts: f64 = (0..100).map(|i| split.advance(37_000 + i)).sum();
+        let total = whole.advance((0..100).map(|i| 37_000 + i).sum());
+        assert!((parts - total).abs() < 1e-6 * total.abs().max(1.0));
+    }
+
+    #[test]
     fn time_to_harvest_constant_power() {
         let t = PowerTrace::constant(1_000.0); // 1 mW = 1e-3 pJ/ps
         let mut c = t.cursor();
@@ -365,6 +466,22 @@ mod tests {
         let t = PowerTrace::constant(1.0);
         let mut c = t.cursor();
         assert_eq!(c.time_to_harvest(1e12, 1_000), None);
+    }
+
+    #[test]
+    fn cursor_shares_segment_storage() {
+        let t = TraceKind::Rf1.build();
+        let a = t.cursor();
+        let b = t.cursor();
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert!(Arc::ptr_eq(&a.data, &t.data));
+    }
+
+    #[test]
+    fn max_power_is_trace_maximum() {
+        let t = PowerTrace::from_segments(vec![(10, 3.0), (10, 9.0), (10, 1.0)]);
+        assert_eq!(t.max_power_uw(), 9.0);
+        assert_eq!(t.cursor().max_power_uw(), 9.0);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub fn parse_trace(text: &str) -> Result<PowerTrace, TraceParseError> {
         if parts.next().is_some() {
             return Err(err("trailing fields".into()));
         }
-        if !(dur_us > 0.0) || !dur_us.is_finite() {
+        if dur_us <= 0.0 || !dur_us.is_finite() {
             return Err(err(format!("duration must be positive, got {dur_us}")));
         }
         if power_uw < 0.0 || !power_uw.is_finite() {

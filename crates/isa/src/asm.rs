@@ -50,7 +50,10 @@ impl fmt::Display for AsmError {
         match self {
             AsmError::UnboundLabel(ix) => write!(f, "label {ix} referenced but never bound"),
             AsmError::BranchOutOfRange { at, offset } => {
-                write!(f, "branch at instruction {at} needs offset {offset} (max ±2047)")
+                write!(
+                    f,
+                    "branch at instruction {at} needs offset {offset} (max ±2047)"
+                )
             }
             AsmError::MissingHalt => write!(f, "program does not contain halt"),
         }
@@ -245,8 +248,7 @@ impl Assembler {
             let resolved = match pending {
                 Pending::None => *instr,
                 Pending::Branch(label) => {
-                    let target =
-                        self.labels[label.0].ok_or(AsmError::UnboundLabel(label.0))?;
+                    let target = self.labels[label.0].ok_or(AsmError::UnboundLabel(label.0))?;
                     let offset = target as i64 - at as i64 - 1;
                     if !(-2048..=2047).contains(&offset) {
                         return Err(AsmError::BranchOutOfRange { at, offset });

@@ -74,8 +74,7 @@ impl Cpu {
     pub fn step(&mut self, bus: &mut dyn Bus) -> StepOutcome {
         assert!(!self.halted, "stepping a halted CPU");
         let word = bus.load_u32(self.pc);
-        let instr = Instr::decode(word)
-            .unwrap_or_else(|e| panic!("pc {:#x}: {e}", self.pc));
+        let instr = Instr::decode(word).unwrap_or_else(|e| panic!("pc {:#x}: {e}", self.pc));
         let mut next_pc = self.pc.wrapping_add(4);
         self.retired += 1;
 

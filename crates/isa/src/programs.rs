@@ -61,7 +61,7 @@ pub fn crc32(len: u32) -> IsaWorkload {
     asm.addi(R3, R3, 1);
     asm.bltu(R3, R2, byte_loop);
     asm.bind(next_byte); // (label kept for readability)
-    // R11 = !crc
+                         // R11 = !crc
     asm.li(R5, 0xFFFF_FFFF);
     asm.xor(R11, R8, R5);
     asm.halt();

@@ -207,7 +207,7 @@ mod tests {
     fn workload_blanket_impls() {
         let w = Nop;
         let mut mem = FunctionalMem::new(0);
-        assert_eq!((&w).run(&mut mem), 7);
+        assert_eq!(w.run(&mut mem), 7);
         let boxed: Box<dyn Workload> = Box::new(Nop);
         assert_eq!(boxed.name(), "nop");
         assert_eq!(boxed.run(&mut mem), 7);

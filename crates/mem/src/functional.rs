@@ -9,7 +9,7 @@ use crate::{AccessSize, Bus};
 /// 1. the persistent NVM backing store of the simulated machine,
 /// 2. the reference oracle in crash-consistency tests, and
 /// 3. a trivial [`Bus`] so workloads can be executed "functionally" to
-///   obtain golden checksums without any timing or energy model.
+///    obtain golden checksums without any timing or energy model.
 ///
 /// All multi-byte accesses are little-endian. Memory is zero-initialised.
 #[derive(Debug, Clone, PartialEq, Eq)]

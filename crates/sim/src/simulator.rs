@@ -124,7 +124,9 @@ mod tests {
                 panic!("kaboom");
             }
         }
-        let err = Simulator::new(SimConfig::wl_cache()).run(&Boom).unwrap_err();
+        let err = Simulator::new(SimConfig::wl_cache())
+            .run(&Boom)
+            .unwrap_err();
         assert!(matches!(err, SimError::WorkloadPanic(ref m) if m.contains("kaboom")));
     }
 

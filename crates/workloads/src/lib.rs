@@ -54,8 +54,9 @@ pub use media::{
     AdpcmDecode, AdpcmEncode, Epic, G721Decode, G721Encode, GsmDecode, GsmEncode, JpegDecode,
     JpegEncode, Mpeg2Decode, Mpeg2Encode, PegwitDecrypt, Sha, SusanCorners, SusanEdges,
 };
-pub use mi::{BasicMath, Dijkstra, Fft, FftInverse, Patricia, Qsort, RijndaelDecrypt,
-    RijndaelEncrypt};
+pub use mi::{
+    BasicMath, Dijkstra, Fft, FftInverse, Patricia, Qsort, RijndaelDecrypt, RijndaelEncrypt,
+};
 
 use ehsim_mem::Workload;
 
@@ -120,8 +121,8 @@ pub mod prelude {
     pub use crate::{
         all23, mediabench, mibench, AdpcmDecode, AdpcmEncode, BasicMath, Dijkstra, Epic, Fft,
         FftInverse, G721Decode, G721Encode, GsmDecode, GsmEncode, JpegDecode, JpegEncode,
-        Mpeg2Decode, Mpeg2Encode, Patricia, PegwitDecrypt, Qsort, RijndaelDecrypt,
-        RijndaelEncrypt, Scale, Sha, SusanCorners, SusanEdges,
+        Mpeg2Decode, Mpeg2Encode, Patricia, PegwitDecrypt, Qsort, RijndaelDecrypt, RijndaelEncrypt,
+        Scale, Sha, SusanCorners, SusanEdges,
     };
 }
 

@@ -90,10 +90,7 @@ impl Workload for Epic {
                     let a0 = bus.load_u16(self.px(img, 2 * x, y)) as i16 as i32;
                     let b0 = bus.load_u16(self.px(img, 2 * x + 1, y)) as i16 as i32;
                     bus.store_u16(tmp + 2 * x, (((a0 + b0) >> 1) & 0xffff) as u16);
-                    bus.store_u16(
-                        tmp + 2 * (extent / 2 + x),
-                        ((a0 - b0) & 0xffff) as u16,
-                    );
+                    bus.store_u16(tmp + 2 * (extent / 2 + x), ((a0 - b0) & 0xffff) as u16);
                     bus.compute(4);
                 }
                 for x in 0..extent {
@@ -108,10 +105,7 @@ impl Workload for Epic {
                     let a0 = bus.load_u16(self.px(img, x, 2 * y)) as i16 as i32;
                     let b0 = bus.load_u16(self.px(img, x, 2 * y + 1)) as i16 as i32;
                     bus.store_u16(tmp + 2 * y, (((a0 + b0) >> 1) & 0xffff) as u16);
-                    bus.store_u16(
-                        tmp + 2 * (extent / 2 + y),
-                        ((a0 - b0) & 0xffff) as u16,
-                    );
+                    bus.store_u16(tmp + 2 * (extent / 2 + y), ((a0 - b0) & 0xffff) as u16);
                     bus.compute(4);
                 }
                 for y in 0..extent {
@@ -142,8 +136,7 @@ impl Workload for Epic {
                 }
             }
         }
-        checksum_region(bus, rle, out_ix.min(rle_cap))
-            ^ u64::from(out_ix)
+        checksum_region(bus, rle, out_ix.min(rle_cap)) ^ u64::from(out_ix)
     }
 }
 

@@ -14,16 +14,16 @@ use ehsim_mem::{Bus, Workload};
 
 /// The standard JPEG luminance quantisation table, quality ~50.
 const QUANT: [u8; 64] = [
-    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69,
-    56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81,
-    104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
+    16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24, 35, 55, 64, 81, 104, 113,
+    92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99,
 ];
 
 /// The zigzag scan order.
 const ZIGZAG: [u8; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
-    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 struct Layout {
@@ -109,6 +109,9 @@ fn dct2d(bus: &mut dyn Bus, base: u32, inverse: bool) {
         dct8(row, inverse);
         bus.compute(40);
     }
+    // Column-major walk over the row-major block; an iterator cannot
+    // express the strided access, hence the index loop.
+    #[allow(clippy::needless_range_loop)]
     for x in 0..8 {
         let mut col = [0i32; 8];
         for (y, c) in col.iter_mut().enumerate() {
@@ -178,8 +181,8 @@ macro_rules! jpeg_workload {
                 for b in 0..self.blocks {
                     for i in 0..64u32 {
                         let (x, y) = (i % 8, i / 8);
-                        let v = ((x * 13 + y * 7 + b) % 200) as i32 - 100
-                            + (rng.next_u32() & 7) as i32;
+                        let v =
+                            ((x * 13 + y * 7 + b) % 200) as i32 - 100 + (rng.next_u32() & 7) as i32;
                         bus.store_u16(l.image + 2 * (b * 64 + i), v as u16);
                     }
                 }

@@ -60,7 +60,7 @@ fn init_frames(bus: &mut dyn Bus, g: Geom, l: &Layout, seed: u64) {
     let mut rng = SplitMix64::new(seed);
     for y in 0..g.height() {
         for x in 0..g.width() {
-            let v = ((x * 3 + y * 5) % 223) as u32 + (rng.next_u32() & 7);
+            let v = ((x * 3 + y * 5) % 223) + (rng.next_u32() & 7);
             bus.store_u8(l.reference + y * g.width() + x, v as u8);
         }
     }
@@ -182,8 +182,7 @@ macro_rules! mpeg2_workload {
                                     let cy = by * MB + y;
                                     let rx = (cx + 2).min(g.width() - 1);
                                     let ry = (cy + 1).min(g.height() - 1);
-                                    let pred =
-                                        bus.load_u8(l.reference + ry * g.width() + rx);
+                                    let pred = bus.load_u8(l.reference + ry * g.width() + rx);
                                     let cur = bus.load_u8(l.current + cy * g.width() + cx);
                                     let residual = cur.wrapping_sub(pred);
                                     let recon = pred.wrapping_add(residual);
@@ -225,12 +224,18 @@ mod tests {
 
     #[test]
     fn encode_properties() {
-        check_workload(Mpeg2Encode::small(), Mpeg2Encode::with_scale(Scale::Default));
+        check_workload(
+            Mpeg2Encode::small(),
+            Mpeg2Encode::with_scale(Scale::Default),
+        );
     }
 
     #[test]
     fn decode_properties() {
-        check_workload(Mpeg2Decode::small(), Mpeg2Decode::with_scale(Scale::Default));
+        check_workload(
+            Mpeg2Decode::small(),
+            Mpeg2Decode::with_scale(Scale::Default),
+        );
     }
 
     #[test]

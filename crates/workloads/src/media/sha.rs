@@ -24,7 +24,7 @@ impl Sha {
     ///
     /// Panics unless `message_bytes` is a positive multiple of 64.
     pub fn new(message_bytes: u32) -> Self {
-        assert!(message_bytes > 0 && message_bytes % 64 == 0);
+        assert!(message_bytes > 0 && message_bytes.is_multiple_of(64));
         Self { message_bytes }
     }
 
@@ -37,7 +37,7 @@ impl Sha {
     pub fn with_scale(scale: Scale) -> Self {
         match scale {
             Scale::Small => Self::small(),
-            Scale::Default => Self::new(384 * 1024)
+            Scale::Default => Self::new(384 * 1024),
         }
     }
 }
@@ -172,7 +172,13 @@ mod tests {
         compress(&mut mem, 0, &mut h);
         assert_eq!(
             h,
-            [0xa999_3e36, 0x4706_816a, 0xba3e_2571, 0x7850_c26c, 0x9cd0_d89d]
+            [
+                0xa999_3e36,
+                0x4706_816a,
+                0xba3e_2571,
+                0x7850_c26c,
+                0x9cd0_d89d
+            ]
         );
     }
 }

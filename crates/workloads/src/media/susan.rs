@@ -15,13 +15,43 @@ use ehsim_mem::{Bus, Workload};
 
 /// Offsets of the 37-pixel circular mask (radius ≈ 3.4).
 const MASK: [(i32, i32); 37] = [
-    (-1, -3), (0, -3), (1, -3),
-    (-2, -2), (-1, -2), (0, -2), (1, -2), (2, -2),
-    (-3, -1), (-2, -1), (-1, -1), (0, -1), (1, -1), (2, -1), (3, -1),
-    (-3, 0), (-2, 0), (-1, 0), (0, 0), (1, 0), (2, 0), (3, 0),
-    (-3, 1), (-2, 1), (-1, 1), (0, 1), (1, 1), (2, 1), (3, 1),
-    (-2, 2), (-1, 2), (0, 2), (1, 2), (2, 2),
-    (-1, 3), (0, 3), (1, 3),
+    (-1, -3),
+    (0, -3),
+    (1, -3),
+    (-2, -2),
+    (-1, -2),
+    (0, -2),
+    (1, -2),
+    (2, -2),
+    (-3, -1),
+    (-2, -1),
+    (-1, -1),
+    (0, -1),
+    (1, -1),
+    (2, -1),
+    (3, -1),
+    (-3, 0),
+    (-2, 0),
+    (-1, 0),
+    (0, 0),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (-3, 1),
+    (-2, 1),
+    (-1, 1),
+    (0, 1),
+    (1, 1),
+    (2, 1),
+    (3, 1),
+    (-2, 2),
+    (-1, 2),
+    (0, 2),
+    (1, 2),
+    (2, 2),
+    (-1, 3),
+    (0, 3),
+    (1, 3),
 ];
 
 /// Brightness-difference threshold of the similarity function.
@@ -70,13 +100,7 @@ fn init(bus: &mut dyn Bus, l: &Layout, w: u32, h: u32, seed: u64) {
     }
 }
 
-fn usan_pass(
-    bus: &mut dyn Bus,
-    l: &Layout,
-    w: u32,
-    h: u32,
-    corners: bool,
-) -> u64 {
+fn usan_pass(bus: &mut dyn Bus, l: &Layout, w: u32, h: u32, corners: bool) -> u64 {
     // Max USAN = 37 neighbours × 100 similarity. SUSAN's geometric
     // thresholds: half the maximum for corners, three quarters for
     // edges.

@@ -71,7 +71,7 @@ impl Workload for Dijkstra {
         for i in 0..self.nodes {
             for j in 0..self.nodes {
                 let w = if i != j && rng.below(10) < 3 {
-                    1 + (rng.next_u32() % 900) as u32
+                    1 + (rng.next_u32() % 900)
                 } else {
                     0xffff // no edge sentinel (u16)
                 };

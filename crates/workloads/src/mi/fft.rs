@@ -105,10 +105,10 @@ fn fft_in_place(bus: &mut dyn Bus, l: &Layout, n: u32, inverse: bool) {
                 let bi = bus.load_u32(l.im + 4 * i1) as i32;
                 wr >>= 0;
                 wi >>= 0;
-                let tr = ((i64::from(br) * i64::from(wr) - i64::from(bi) * i64::from(wi))
-                    >> 14) as i32;
-                let ti = ((i64::from(br) * i64::from(wi) + i64::from(bi) * i64::from(wr))
-                    >> 14) as i32;
+                let tr =
+                    ((i64::from(br) * i64::from(wr) - i64::from(bi) * i64::from(wi)) >> 14) as i32;
+                let ti =
+                    ((i64::from(br) * i64::from(wi) + i64::from(bi) * i64::from(wr)) >> 14) as i32;
                 bus.store_u32(l.re + 4 * i0, ((ar + tr) >> 1) as u32);
                 bus.store_u32(l.im + 4 * i0, ((ai + ti) >> 1) as u32);
                 bus.store_u32(l.re + 4 * i1, ((ar - tr) >> 1) as u32);

@@ -14,7 +14,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A library program: CRC-32 over 2 kB, written in assembly.
     let crc = programs::crc32(2048);
     println!("running {} on WL-Cache under RF trace 1...", crc.name());
-    let cfg = SimConfig::wl_cache().with_trace(TraceKind::Rf1).with_verify();
+    let cfg = SimConfig::wl_cache()
+        .with_trace(TraceKind::Rf1)
+        .with_verify();
     let r = Simulator::new(cfg).run(&crc)?;
     println!(
         "  crc32 = {:#010x} (reference {:#010x}), {} instructions retired, {} outages",

@@ -25,7 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The paper's RF home trace: frequent power failures, JIT
     // checkpointing, adaptive maxline management.
-    let cfg = SimConfig::wl_cache().with_trace(TraceKind::Rf1).with_verify();
+    let cfg = SimConfig::wl_cache()
+        .with_trace(TraceKind::Rf1)
+        .with_verify();
     let stormy = Simulator::new(cfg).run(&workload)?;
     println!(
         "[RF trace 1 ] {} on {}: {:.3} ms total ({:.3} ms off), {} outages",

@@ -8,9 +8,9 @@
 //! 2. the workload checksum is compared against a pure functional run,
 //!    proving end-to-end equivalence.
 
-use wl_cache_repro::prelude::*;
 use wl_cache_repro::ehsim::SimConfig as Cfg;
 use wl_cache_repro::ehsim_mem::FunctionalMem;
+use wl_cache_repro::prelude::*;
 
 fn functional_checksum(w: &dyn Workload) -> u64 {
     let mut mem = FunctionalMem::new(w.mem_bytes());

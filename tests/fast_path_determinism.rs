@@ -1,0 +1,47 @@
+//! Regression test for the energy-budgeted settlement fast path.
+//!
+//! The budgeted scheduler in `ehsim::Machine` skips per-retire
+//! settlement checks whenever its conservative drain pool and
+//! up-deadline prove the check would be a no-op. That optimization must
+//! be invisible: with [`SimConfig::with_fast_settle`] off, the full
+//! check runs at every retire, and the resulting [`Report`] — times,
+//! outages, energy meter, cache statistics, WL counters, checksum —
+//! must be *identical*, not merely close.
+
+use ehsim::{SimConfig, Simulator};
+use ehsim_energy::TraceKind;
+use ehsim_workloads::prelude::*;
+
+#[test]
+fn fast_path_reports_are_bit_identical() {
+    let workload = Sha::with_scale(Scale::Default);
+    let mut total_outages = 0;
+    for trace in [TraceKind::Rf1, TraceKind::Solar] {
+        let designs = SimConfig::all_designs()
+            .into_iter()
+            .chain([SimConfig::wl_cache_dyn()]);
+        for cfg in designs {
+            let label = cfg.design.label();
+            // The paper's alternative 0.344 µF capacitor drains fast
+            // enough that even the small workload rides through real
+            // outages on every design.
+            let run = |fast: bool| {
+                Simulator::new(
+                    cfg.clone()
+                        .with_trace(trace)
+                        .with_capacitor_uf(0.344)
+                        .with_fast_settle(fast),
+                )
+                .run(&workload)
+                .unwrap_or_else(|e| panic!("{label} on {trace:?} (fast={fast}): {e}"))
+            };
+            let fast = run(true);
+            let slow = run(false);
+            total_outages += fast.outages;
+            assert_eq!(fast, slow, "{label} on {trace:?}: fast path diverged");
+        }
+    }
+    // The comparison is only meaningful if the failure protocol
+    // actually exercised on at least some of the runs.
+    assert!(total_outages > 0, "no run saw a single outage");
+}

@@ -19,7 +19,9 @@ fn run_all(cfg: &SimConfig) -> Vec<Report> {
 
 #[test]
 fn all_23_kernels_match_functional_checksums_on_wl_cache() {
-    let cfg = SimConfig::wl_cache().with_trace(TraceKind::Rf1).with_verify();
+    let cfg = SimConfig::wl_cache()
+        .with_trace(TraceKind::Rf1)
+        .with_verify();
     for w in all23(Scale::Small) {
         let mut mem = FunctionalMem::new(w.mem_bytes());
         let expected = w.run(&mut mem);

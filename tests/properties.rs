@@ -53,9 +53,7 @@ impl Workload for Replayed {
                     let size = size_of(s);
                     // Natural alignment, as the Bus contract requires.
                     let a = (a.min(self.mem - size.bytes())) & !(size.bytes() - 1);
-                    acc = acc
-                        .rotate_left(7)
-                        .wrapping_add(bus.load(a, size));
+                    acc = acc.rotate_left(7).wrapping_add(bus.load(a, size));
                 }
                 Op::Store(a, s, v) => {
                     let size = size_of(s);
