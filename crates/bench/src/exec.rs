@@ -18,22 +18,27 @@
 //!   nor the scheduling order can change any output byte. A regression
 //!   test compares engine-generated figures against a serial,
 //!   cache-free rerun byte for byte.
-//! * **Complete keys.** The memo key is the full `Debug` rendering of
-//!   the [`SimConfig`] (design, geometry, policies, trace, capacitor,
-//!   CPU/NVM/charging parameters, verify, fast-path knob — Rust's
-//!   shortest-round-trip float formatting makes this lossless) plus
-//!   the scale and workload index. Jobs carrying a custom power trace
-//!   are never memoized.
+//! * **Complete keys.** The memo key is an explicit, injective
+//!   encoding of every [`SimConfig`] field (design, geometry, policies,
+//!   trace, capacitor, CPU/NVM/charging parameters, verify,
+//!   max-outages) plus the scale and workload index, built by
+//!   exhaustively destructuring the config — adding a field to
+//!   `SimConfig` is a compile error here until the key learns about
+//!   it, and floats are keyed by their exact bit patterns. Jobs
+//!   carrying a custom power trace are never memoized.
 //!
 //! Setting `EHSIM_SWEEP_SERIAL=1` bypasses both the pool and the cache
 //! (every job simulates inline, in order); the byte-identity test uses
 //! it to produce the serial reference.
 
-use ehsim::{Report, SimConfig, Simulator};
+use ehsim::{DesignKind, Report, SimConfig, Simulator};
+use ehsim_cache::ReplacementPolicy;
+use ehsim_energy::TraceKind;
 use ehsim_workloads::Scale;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use wl_cache::{AdaptationMode, DqPolicy};
 
 /// One simulation of the sweep: a configuration applied to workload
 /// number `workload` of the fixed 23-kernel suite at `scale`.
@@ -86,8 +91,8 @@ fn counters() -> &'static Counters {
     })
 }
 
-fn cache() -> &'static Mutex<HashMap<String, Arc<Report>>> {
-    static C: OnceLock<Mutex<HashMap<String, Arc<Report>>>> = OnceLock::new();
+fn cache() -> &'static Mutex<HashMap<MemoKey, Arc<Report>>> {
+    static C: OnceLock<Mutex<HashMap<MemoKey, Arc<Report>>>> = OnceLock::new();
     C.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -119,13 +124,135 @@ fn serial_uncached() -> bool {
     std::env::var_os("EHSIM_SWEEP_SERIAL").is_some_and(|v| v != "0")
 }
 
+/// Canonical memo key: an injective word encoding of a [`Job`].
+///
+/// Hashing and equality run over the encoded words, so two keys are
+/// equal exactly when every encoded field is identical. Floats are
+/// encoded by bit pattern — injective by construction (distinct values
+/// can never alias one cache entry; the only theoretical asymmetry,
+/// `0.0` vs `-0.0` comparing `==` but encoding differently, errs
+/// toward a redundant simulation, never toward a wrong figure).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey(Vec<u64>);
+
 /// Memo key, or `None` when the job must not be memoized (custom
 /// traces have no stable identity).
-fn memo_key(job: &Job) -> Option<String> {
-    if job.cfg.custom_trace.is_some() {
+fn memo_key(job: &Job) -> Option<MemoKey> {
+    // Exhaustive destructuring: adding a `SimConfig` field breaks this
+    // binding until the encoding below covers it.
+    let SimConfig {
+        design,
+        geometry,
+        cache_policy,
+        trace,
+        custom_trace,
+        capacitor_uf,
+        cpu,
+        nvm_timing,
+        nvm_energy,
+        charging,
+        verify,
+        max_outages,
+    } = &job.cfg;
+    if custom_trace.is_some() {
         return None;
     }
-    Some(format!("{:?}|{:?}|{}", job.cfg, job.scale, job.workload))
+    let mut k: Vec<u64> = Vec::with_capacity(40);
+    match design {
+        DesignKind::VCacheWt => k.push(0),
+        DesignKind::NvCacheWb => k.push(1),
+        DesignKind::NvSram => k.push(2),
+        DesignKind::Replay { region_instrs } => {
+            k.push(3);
+            k.push(*region_instrs);
+        }
+        DesignKind::WBuf { capacity } => {
+            k.push(4);
+            k.push(*capacity as u64);
+        }
+        DesignKind::Wl {
+            thresholds,
+            dq_policy,
+            adaptation,
+        } => {
+            k.push(5);
+            k.push(thresholds.dq_capacity() as u64);
+            k.push(thresholds.maxline() as u64);
+            k.push(thresholds.waterline() as u64);
+            k.push(match dq_policy {
+                DqPolicy::Fifo => 0,
+                DqPolicy::Lru => 1,
+            });
+            k.push(match adaptation {
+                AdaptationMode::Static => 0,
+                AdaptationMode::Adaptive => 1,
+                AdaptationMode::Dynamic => 2,
+            });
+        }
+    }
+    k.push(u64::from(geometry.size_bytes()));
+    k.push(u64::from(geometry.ways()));
+    k.push(u64::from(geometry.line_bytes()));
+    k.push(match cache_policy {
+        ReplacementPolicy::Lru => 0,
+        ReplacementPolicy::Fifo => 1,
+    });
+    k.push(match trace {
+        TraceKind::None => 0,
+        TraceKind::Rf1 => 1,
+        TraceKind::Rf2 => 2,
+        TraceKind::Rf3 => 3,
+        TraceKind::Solar => 4,
+        TraceKind::Thermal => 5,
+    });
+    k.push(capacitor_uf.to_bits());
+    let ehsim::CpuParams {
+        ps_per_cycle,
+        compute_pj_per_cycle,
+        reg_checkpoint_ps,
+        reg_checkpoint_pj,
+        reg_restore_ps,
+        reg_restore_pj,
+        static_power_uw,
+    } = cpu;
+    k.push(*ps_per_cycle);
+    k.push(compute_pj_per_cycle.to_bits());
+    k.push(*reg_checkpoint_ps);
+    k.push(reg_checkpoint_pj.to_bits());
+    k.push(*reg_restore_ps);
+    k.push(reg_restore_pj.to_bits());
+    k.push(static_power_uw.to_bits());
+    let ehsim_mem::NvmTiming {
+        t_ck,
+        t_burst,
+        t_rcd,
+        t_cl,
+        t_wtr,
+        t_wr,
+        t_xaw,
+    } = nvm_timing;
+    for t in [t_ck, t_burst, t_rcd, t_cl, t_wtr, t_wr, t_xaw] {
+        k.push(t.to_bits());
+    }
+    let ehsim_mem::NvmEnergy {
+        read_pj_per_byte,
+        write_pj_per_byte,
+        activate_pj,
+    } = nvm_energy;
+    for e in [read_pj_per_byte, write_pj_per_byte, activate_pj] {
+        k.push(e.to_bits());
+    }
+    let ehsim_energy::ChargingModel { v_knee, steepness } = charging;
+    k.push(v_knee.to_bits());
+    k.push(*steepness as u64);
+    k.push(u64::from(*verify));
+    k.push(*max_outages);
+    k.push(match job.scale {
+        Scale::Small => 0,
+        Scale::Default => 1,
+    });
+    k.push(job.workload as u64);
+    Some(MemoKey(k))
 }
 
 /// Runs one job to completion, panicking with context on simulation
@@ -165,10 +292,10 @@ pub fn run_batch(batch: &[Job]) -> Vec<Arc<Report>> {
     // Resolve against the cache and deduplicate within the batch.
     let mut slots: Vec<Slot> = Vec::with_capacity(batch.len());
     let mut misses: Vec<&Job> = Vec::new();
-    let mut miss_keys: Vec<Option<String>> = Vec::new();
+    let mut miss_keys: Vec<Option<MemoKey>> = Vec::new();
     {
         let cache = cache().lock().expect("sweep cache poisoned");
-        let mut pending: HashMap<String, usize> = HashMap::new();
+        let mut pending: HashMap<MemoKey, usize> = HashMap::new();
         for job in batch {
             match memo_key(job) {
                 Some(key) => {
@@ -251,4 +378,108 @@ pub fn run_suites(cfgs: &[SimConfig], scale: Scale) -> Vec<Vec<Arc<Report>>> {
         .collect();
     let flat = run_batch(&batch);
     flat.chunks(count).map(|c| c.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehsim_cache::CacheGeometry;
+    use wl_cache::Thresholds;
+
+    fn key(cfg: SimConfig) -> MemoKey {
+        memo_key(&Job::new(cfg, 0, Scale::Small)).expect("memoizable")
+    }
+
+    /// Every `SimConfig` field must feed the memo key: for each field,
+    /// perturb it from the same base and demand a distinct key. A field
+    /// that stopped influencing the key would silently alias distinct
+    /// configurations onto one cached report.
+    #[test]
+    fn keys_distinguish_every_field() {
+        let base = SimConfig::wl_cache();
+        let base_key = key(base.clone());
+        let variants: Vec<(&str, SimConfig)> = vec![
+            ("design", SimConfig::nvsram()),
+            ("design params", {
+                let mut c = base.clone();
+                c.design = DesignKind::Wl {
+                    thresholds: Thresholds::with_maxline(8, 4).unwrap(),
+                    dq_policy: DqPolicy::Fifo,
+                    adaptation: AdaptationMode::Adaptive,
+                };
+                c
+            }),
+            ("dq_policy", base.clone().with_dq_policy(DqPolicy::Lru)),
+            ("adaptation", SimConfig::wl_cache_dyn()),
+            (
+                "geometry",
+                base.clone().with_geometry(CacheGeometry::new(2048, 2, 64)),
+            ),
+            (
+                "cache_policy",
+                base.clone().with_cache_policy(ReplacementPolicy::Fifo),
+            ),
+            ("trace", base.clone().with_trace(TraceKind::Rf1)),
+            ("capacitor_uf", base.clone().with_capacitor_uf(2.0)),
+            ("cpu", {
+                let mut c = base.clone();
+                c.cpu.static_power_uw += 1.0;
+                c
+            }),
+            ("nvm_timing", {
+                let mut c = base.clone();
+                c.nvm_timing.t_wr += 1.0;
+                c
+            }),
+            ("nvm_energy", {
+                let mut c = base.clone();
+                c.nvm_energy.write_pj_per_byte += 1.0;
+                c
+            }),
+            ("charging", {
+                let mut c = base.clone();
+                c.charging.v_knee += 0.1;
+                c
+            }),
+            ("verify", base.clone().with_verify()),
+            ("max_outages", {
+                let mut c = base.clone();
+                c.max_outages += 1;
+                c
+            }),
+        ];
+        let mut keys = vec![("base", base_key)];
+        for (field, cfg) in variants {
+            let k = key(cfg);
+            for (other, ok) in &keys {
+                assert_ne!(&k, ok, "{field} collides with {other}");
+            }
+            keys.push((field, k));
+        }
+    }
+
+    #[test]
+    fn scale_and_workload_feed_the_key() {
+        let cfg = SimConfig::nvsram();
+        let a = memo_key(&Job::new(cfg.clone(), 0, Scale::Small)).unwrap();
+        let b = memo_key(&Job::new(cfg.clone(), 1, Scale::Small)).unwrap();
+        let c = memo_key(&Job::new(cfg, 0, Scale::Default)).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn equal_jobs_share_a_key() {
+        let a = memo_key(&Job::new(SimConfig::wl_cache(), 3, Scale::Small));
+        let b = memo_key(&Job::new(SimConfig::wl_cache(), 3, Scale::Small));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_traces_are_never_memoized() {
+        let trace = ehsim_energy::PowerTrace::constant(100.0);
+        let cfg = SimConfig::wl_cache().with_custom_trace(trace);
+        assert_eq!(memo_key(&Job::new(cfg, 0, Scale::Small)), None);
+    }
 }

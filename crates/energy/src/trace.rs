@@ -15,12 +15,13 @@
 //! (33/45/121/12/9 for tr1/tr2/tr3/solar/thermal, §6.6); see DESIGN.md
 //! §4, substitution 2.
 //!
-//! Storage is shared: a [`PowerTrace`] holds its segments (plus
-//! precomputed prefix sums of segment start times and energies) behind
-//! an `Arc`, so [`PowerTrace::cursor`] hands out cursors without deep
-//! copies and the cumulative-harvest function `H(t)` is evaluable in
-//! O(log segments) at any absolute time — the basis of the simulator's
-//! energy-budgeted fast path.
+//! Storage is shared: a [`PowerTrace`] holds its segments behind an
+//! `Arc`, so [`PowerTrace::cursor`] hands out cursors without deep
+//! copies no matter how many machines simulate against the same trace.
+//! Cursor queries are the seed implementation's exact segment walk —
+//! the committed figure goldens depend on its accumulation order, so
+//! the sharing refactor must not (and does not) change a single
+//! floating-point operation.
 
 use ehsim_mem::{Pj, Ps};
 use rand::rngs::StdRng;
@@ -155,35 +156,7 @@ struct Segment {
 #[derive(Debug)]
 struct TraceData {
     segments: Vec<Segment>,
-    /// `start_ps[i]` is the start time of segment `i` within one cycle;
-    /// `start_ps[len]` is the cycle length.
-    start_ps: Vec<Ps>,
-    /// `prefix_pj[i]` is the energy harvested in `[0, start_ps[i])` of
-    /// one cycle; `prefix_pj[len]` is the whole-cycle energy.
-    prefix_pj: Vec<f64>,
     total_ps: Ps,
-    cycle_pj: f64,
-    max_power_uw: f64,
-}
-
-impl TraceData {
-    /// Index of the segment containing in-cycle offset `rem`.
-    fn seg_index(&self, rem: Ps) -> usize {
-        debug_assert!(rem < self.total_ps);
-        self.start_ps.partition_point(|&s| s <= rem) - 1
-    }
-
-    /// Cumulative harvested energy `H(t)` in pJ over `[0, abs)`,
-    /// where `abs` is an absolute time from the trace origin (the trace
-    /// cycles indefinitely).
-    fn h_at(&self, abs: Ps) -> f64 {
-        let cycles = abs / self.total_ps;
-        let rem = abs % self.total_ps;
-        let ix = self.seg_index(rem.min(self.total_ps - 1));
-        cycles as f64 * self.cycle_pj
-            + self.prefix_pj[ix]
-            + (rem - self.start_ps[ix]) as f64 * self.segments[ix].power_uw * UW_PS_TO_PJ
-    }
 }
 
 /// A harvesting power trace: piecewise-constant power over time, cycled
@@ -218,37 +191,23 @@ impl PowerTrace {
     /// is negative/not finite.
     pub fn from_segments(segments: Vec<(Ps, f64)>) -> Self {
         assert!(!segments.is_empty(), "trace needs at least one segment");
-        let mut start_ps = Vec::with_capacity(segments.len() + 1);
-        let mut prefix_pj = Vec::with_capacity(segments.len() + 1);
         let mut total: Ps = 0;
-        let mut energy = 0.0f64;
-        let mut max_power = 0.0f64;
-        let segs: Vec<Segment> = segments
+        let segs = segments
             .into_iter()
             .map(|(d, p)| {
                 assert!(d > 0, "segment duration must be positive");
                 assert!(p >= 0.0 && p.is_finite(), "power must be finite and >= 0");
-                start_ps.push(total);
-                prefix_pj.push(energy);
                 total += d;
-                energy += d as f64 * p * UW_PS_TO_PJ;
-                max_power = max_power.max(p);
                 Segment {
                     duration_ps: d,
                     power_uw: p,
                 }
             })
             .collect();
-        start_ps.push(total);
-        prefix_pj.push(energy);
         Self {
             data: Arc::new(TraceData {
                 segments: segs,
-                start_ps,
-                prefix_pj,
                 total_ps: total,
-                cycle_pj: energy,
-                max_power_uw: max_power,
             }),
         }
     }
@@ -291,13 +250,6 @@ impl PowerTrace {
         sum / self.data.total_ps as f64
     }
 
-    /// The highest instantaneous power (µW) anywhere in the trace — an
-    /// upper bound on the harvest rate, used by the simulator's
-    /// energy-budget scheduler.
-    pub fn max_power_uw(&self) -> f64 {
-        self.data.max_power_uw
-    }
-
     /// Iterates over the trace's `(duration_ps, power_uw)` segments.
     pub fn segments_iter(&self) -> impl Iterator<Item = (Ps, f64)> + '_ {
         self.data
@@ -314,50 +266,43 @@ impl PowerTrace {
     pub fn cursor(&self) -> TraceCursor {
         TraceCursor {
             data: Arc::clone(&self.data),
-            pos_ps: 0,
+            seg_ix: 0,
+            offset_ps: 0,
         }
     }
 }
 
 /// A position within a [`PowerTrace`], advancing monotonically and
 /// wrapping around at the end of the trace.
-///
-/// All queries are pure functions of the position: [`TraceCursor::peek`]
-/// evaluates harvested energy over a future window without moving, and
-/// [`TraceCursor::advance`] is exactly `peek` plus a position update, so
-/// splitting one advance into many (or merging many into one) yields
-/// bit-identical totals — the property the simulator's fast path relies
-/// on.
 #[derive(Debug, Clone)]
 pub struct TraceCursor {
     data: Arc<TraceData>,
-    pos_ps: Ps,
+    seg_ix: usize,
+    offset_ps: Ps,
 }
 
 impl TraceCursor {
     /// Instantaneous harvesting power (µW) at the cursor.
     pub fn power_uw(&self) -> f64 {
-        let rem = self.pos_ps % self.data.total_ps;
-        self.data.segments[self.data.seg_index(rem)].power_uw
-    }
-
-    /// The trace-wide maximum instantaneous power (µW).
-    pub fn max_power_uw(&self) -> f64 {
-        self.data.max_power_uw
-    }
-
-    /// Energy (pJ) that will be harvested during the next `dt`
-    /// picoseconds, without advancing the cursor.
-    pub fn peek(&self, dt: Ps) -> Pj {
-        let h0 = self.data.h_at(self.pos_ps);
-        self.data.h_at(self.pos_ps.saturating_add(dt)) - h0
+        self.data.segments[self.seg_ix].power_uw
     }
 
     /// Advances the cursor by `dt` picoseconds, returning the energy (pJ)
     /// harvested during that span.
-    pub fn advance(&mut self, dt: Ps) -> Pj {
-        let harvested = self.peek(dt);
-        self.pos_ps = self.pos_ps.saturating_add(dt);
+    pub fn advance(&mut self, mut dt: Ps) -> Pj {
+        let mut harvested = 0.0;
+        while dt > 0 {
+            let seg = &self.data.segments[self.seg_ix];
+            let left = seg.duration_ps - self.offset_ps;
+            let step = left.min(dt);
+            harvested += seg.power_uw * step as f64 * UW_PS_TO_PJ;
+            dt -= step;
+            self.offset_ps += step;
+            if self.offset_ps == seg.duration_ps {
+                self.offset_ps = 0;
+                self.seg_ix = (self.seg_ix + 1) % self.data.segments.len();
+            }
+        }
         harvested
     }
 
@@ -369,25 +314,28 @@ impl TraceCursor {
     /// or `None` if the target cannot be reached within `max_ps` (the
     /// cursor is then `max_ps` further along).
     pub fn time_to_harvest(&mut self, target_pj: Pj, max_ps: Ps) -> Option<Ps> {
-        if target_pj <= 0.0 {
-            return Some(0);
-        }
-        if self.peek(max_ps) < target_pj {
-            self.pos_ps = self.pos_ps.saturating_add(max_ps);
-            return None;
-        }
-        // Monotone bisection for the smallest dt with peek(dt) >= target.
-        let (mut lo, mut hi) = (0u64, max_ps);
-        while hi - lo > 1 {
-            let mid = lo + (hi - lo) / 2;
-            if self.peek(mid) >= target_pj {
-                hi = mid;
-            } else {
-                lo = mid;
+        let mut remaining = target_pj;
+        let mut elapsed: Ps = 0;
+        while remaining > 0.0 {
+            if elapsed >= max_ps {
+                return None;
             }
+            let seg = &self.data.segments[self.seg_ix];
+            let left = seg.duration_ps - self.offset_ps;
+            let budget = left.min(max_ps - elapsed);
+            let seg_pj = seg.power_uw * budget as f64 * UW_PS_TO_PJ;
+            if seg_pj >= remaining && seg.power_uw > 0.0 {
+                // Finishes within this segment.
+                let need_ps = (remaining / (seg.power_uw * UW_PS_TO_PJ)).ceil() as Ps;
+                let need_ps = need_ps.min(budget);
+                self.advance(need_ps);
+                return Some(elapsed + need_ps);
+            }
+            remaining -= seg_pj;
+            elapsed += budget;
+            self.advance(budget);
         }
-        self.pos_ps += hi;
-        Some(hi)
+        Some(elapsed)
     }
 }
 
@@ -423,16 +371,6 @@ mod tests {
         // All energy is in the first 100 ps.
         assert!((a - 10.0 * 100.0 * 1e-6).abs() < 1e-12);
         assert_eq!(b, 0.0);
-    }
-
-    #[test]
-    fn peek_matches_advance_and_is_pure() {
-        let t = PowerTrace::from_segments(vec![(250, 7.0), (750, 2.0), (100, 0.0)]);
-        let mut c = t.cursor();
-        c.advance(123);
-        let preview = c.peek(4_321);
-        assert_eq!(preview, c.peek(4_321), "peek must not move the cursor");
-        assert_eq!(preview, c.advance(4_321));
     }
 
     #[test]
@@ -475,13 +413,6 @@ mod tests {
         let b = t.cursor();
         assert!(Arc::ptr_eq(&a.data, &b.data));
         assert!(Arc::ptr_eq(&a.data, &t.data));
-    }
-
-    #[test]
-    fn max_power_is_trace_maximum() {
-        let t = PowerTrace::from_segments(vec![(10, 3.0), (10, 9.0), (10, 1.0)]);
-        assert_eq!(t.max_power_uw(), 9.0);
-        assert_eq!(t.cursor().max_power_uw(), 9.0);
     }
 
     #[test]

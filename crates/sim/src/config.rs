@@ -108,15 +108,6 @@ pub struct SimConfig {
     pub verify: bool,
     /// Abort if the run exceeds this many outages (runaway guard).
     pub max_outages: u64,
-    /// Use the energy-budgeted settlement fast path (default).
-    ///
-    /// The machine's energy evolution is a pure function of simulation
-    /// time between re-anchor points, so both settings produce
-    /// bit-identical [`Report`](crate::Report)s — the knob exists for
-    /// the determinism regression test and for debugging. It can also
-    /// be forced off process-wide with the `EHSIM_NO_FAST_PATH`
-    /// environment variable.
-    pub fast_settle: bool,
 }
 
 impl SimConfig {
@@ -134,7 +125,6 @@ impl SimConfig {
             charging: ChargingModel::paper_default(),
             verify: false,
             max_outages: 1_000_000,
-            fast_settle: true,
         }
     }
 
@@ -278,14 +268,6 @@ impl SimConfig {
     #[must_use]
     pub fn with_verify(mut self) -> Self {
         self.verify = true;
-        self
-    }
-
-    /// Enables or disables the energy-budgeted settlement fast path
-    /// (see [`SimConfig::fast_settle`]).
-    #[must_use]
-    pub fn with_fast_settle(mut self, on: bool) -> Self {
-        self.fast_settle = on;
         self
     }
 }

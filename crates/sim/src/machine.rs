@@ -1,56 +1,11 @@
 //! The simulated energy-harvesting machine.
-//!
-//! # Energy-budgeted settlement (the hot-loop fast path)
-//!
-//! The seed implementation re-settled the capacitor after **every**
-//! retired operation: advance the harvesting cursor, apply the
-//! charging efficiency, drain the metered consumption, and compare the
-//! voltage against `Vbackup`. That walk dominated simulation time.
-//!
-//! This version makes the capacitor energy a *pure function* of
-//! simulation time between re-anchor points ("marks"). At a mark the
-//! machine freezes the charging efficiency `η` at the mark voltage and
-//! records `(e_mark, t_mark, spent_mark)`; from then on
-//!
-//! ```text
-//! X(t) = e_mark + η_mark · harvest(t_mark → t) − (spent(t) − spent_mark)
-//! ```
-//!
-//! where `harvest` is an O(1) prefix-sum lookup on the power trace and
-//! `spent` is the energy meter total. Because `X` is pure, the machine
-//! does not need to evaluate it every retire. Instead it computes, at
-//! each (re)schedule point, a *drain pool* — how much metered energy
-//! may be consumed before `X` could possibly fall below both the
-//! η-refreeze band and the **highest `Vbackup` the design can ever
-//! adapt to** — and an *up deadline* — the earliest time `X` could
-//! possibly climb above the band, bounding the growth rate by the
-//! trace's maximum power. Until the pool is exhausted and the deadline
-//! is not reached, a retire costs one meter subtraction and two
-//! compares; the full check (outage detection, saturation clamp, band
-//! re-freeze) runs only when it could matter.
-//!
-//! Both bounds are conservative (harvest is non-negative; drain is
-//! metered exactly, not estimated), so a skipped full check is always
-//! a check that would have been a no-op. Consequently the fast path is
-//! *bit-exact*: running with [`SimConfig::fast_settle`] off performs
-//! the full check at every retire and produces the identical
-//! [`Report`](crate::Report) — a property pinned by a regression test.
-//!
-//! The one subtlety is WL-Cache's dynamic adaptation: `maxline` (and
-//! with it `Vbackup`) can be raised in the middle of a store. The
-//! drain pool is therefore computed against the ceiling
-//! `Vbackup(maxline = dq_capacity)`, while the outage comparison in the
-//! full check always reads the design's *fresh* thresholds.
 
-use crate::config::{DesignKind, SimConfig};
+use crate::config::SimConfig;
 use crate::design_box::DesignBox;
 use crate::error::SimError;
 use crate::params::{COMPUTE_CHUNK_CYCLES, MAX_RECHARGE_PS};
 use ehsim_cache::{CacheDesign, CacheStats, MemCtx};
-use ehsim_energy::{
-    Capacitor, ChargingModel, EnergyCategory, EnergyMeter, TraceCursor, TraceKind,
-    VoltageThresholds,
-};
+use ehsim_energy::{Capacitor, ChargingModel, EnergyCategory, EnergyMeter, TraceCursor, TraceKind};
 use ehsim_mem::{AccessSize, Bus, FunctionalMem, NvmPort, Pj, Ps};
 
 /// Panic payload used to abort a run from inside the [`Bus`] methods
@@ -58,21 +13,15 @@ use ehsim_mem::{AccessSize, Bus, FunctionalMem, NvmPort, Pj, Ps};
 /// surfaces the recorded [`SimError`].
 pub(crate) struct Abort;
 
-/// Half-width of the η-refreeze band, in volts. While the capacitor
-/// stays within ±`ETA_BAND_V` of the mark voltage, the frozen charging
-/// efficiency is considered representative; leaving the band re-marks.
-const ETA_BAND_V: f64 = 0.05;
-
 /// The energy-harvesting machine: an in-order core, one cache design,
 /// NVM main memory, and a capacitor fed by a harvesting trace.
 ///
 /// `Machine` implements [`Bus`], so workloads execute directly against
-/// it. After every operation the machine accounts harvested and
-/// consumed energy (see the module docs for the budgeted fast path)
-/// and — when the stored energy sags below the design's `Vbackup` —
-/// runs the full power-failure protocol: JIT checkpoint (design state
-/// and registers), power-off, recharge to `Von`, reboot/restore, and
-/// adaptive threshold reconfiguration.
+/// it. After every operation the machine integrates harvested energy,
+/// drains consumed energy, and — when the voltage sags below the
+/// design's `Vbackup` — runs the full power-failure protocol:
+/// JIT checkpoint (design state + registers), power-off, recharge to
+/// `Von`, reboot/restore, and adaptive threshold reconfiguration.
 #[derive(Debug)]
 pub struct Machine {
     design: DesignBox,
@@ -87,56 +36,20 @@ pub struct Machine {
     charging: ChargingModel,
     cpu: crate::CpuParams,
     failures_enabled: bool,
-    fast_settle: bool,
     verify_oracle: Option<FunctionalMem>,
     max_outages: u64,
 
     booted: bool,
     now: Ps,
     boot_time: Ps,
+    last_sync: Ps,
+    drained_pj: Pj,
     instructions: u64,
     outages: u64,
     off_time_ps: Ps,
     checkpoint_time_ps: Ps,
     restore_time_ps: Ps,
     error: Option<SimError>,
-
-    // --- lazy energy model (semantic state; see module docs) ---
-    /// Capacitor energy at the mark.
-    e_mark: Pj,
-    /// Mark time; invariant: `cursor` is positioned exactly here.
-    t_mark: Ps,
-    /// Charging efficiency frozen at the mark voltage.
-    eta_mark: f64,
-    /// `meter.total()` at the mark.
-    spent_mark: Pj,
-    /// Lower edge of the η-refreeze band (energy at `v_mark − 0.05`).
-    band_lo_pj: Pj,
-    /// Upper edge of the η-refreeze band (energy at `v_mark + 0.05`).
-    band_hi_pj: Pj,
-    /// Static leakage has been folded into the meter up to this time.
-    static_anchor_ps: Ps,
-
-    // --- cached constants ---
-    /// Energy at `Vmax` (saturation clamp).
-    e_max_pj: Pj,
-    /// Energy at the *highest* `Vbackup` this design can adapt to —
-    /// the drain-pool floor (WL-Cache can raise `Vbackup` mid-store).
-    e_floor_pool_pj: Pj,
-    /// Energy at `Vmin` (baseline for `MemCtx::cap_energy_pj`).
-    e_vmin_pj: Pj,
-    /// Static leakage in pJ/ps.
-    static_rate: f64,
-    /// Trace maximum power (µW), bounding the energy growth rate.
-    max_power_uw: f64,
-
-    // --- fast-path scheduler (non-semantic bookkeeping) ---
-    /// `meter.total()` at the last (re)schedule.
-    check_meter_base: Pj,
-    /// Metered drain allowed before a forced full check.
-    check_drain_limit: Pj,
-    /// Earliest time the energy could exit the band upward.
-    check_deadline_ps: Ps,
 }
 
 impl Machine {
@@ -161,26 +74,7 @@ impl Machine {
             .custom_trace
             .clone()
             .unwrap_or_else(|| cfg.trace.build());
-        // WL-Cache(dyn) may raise `maxline` — and with it `Vbackup` —
-        // in the middle of a store, so the drain pool must be floored
-        // at the thresholds of a completely full DirtyQueue. All other
-        // designs have static thresholds.
-        let v_backup_ceiling = match &cfg.design {
-            DesignKind::Wl { thresholds, .. } => {
-                let lines = thresholds.dq_capacity();
-                VoltageThresholds::wl(lines, lines).v_backup
-            }
-            _ => design.thresholds().v_backup,
-        };
-        let cursor = trace.cursor();
-        let fast_settle =
-            cfg.fast_settle && std::env::var_os("EHSIM_NO_FAST_PATH").is_none_or(|v| v == "0");
-        let mut m = Self {
-            e_max_pj: cap.energy_at_pj(cap.v_max()),
-            e_floor_pool_pj: cap.energy_at_pj(v_backup_ceiling),
-            e_vmin_pj: cap.energy_at_pj(cap.v_min()),
-            static_rate: cfg.cpu.static_power_uw * 1e-6,
-            max_power_uw: cursor.max_power_uw(),
+        Self {
             design,
             port: NvmPort::new(),
             timing: cfg.nvm_timing.clone(),
@@ -188,36 +82,25 @@ impl Machine {
             nvm: FunctionalMem::new(size),
             meter: EnergyMeter::new(),
             stats: CacheStats::new(),
-            e_mark: cap.energy_pj(),
             cap,
-            cursor,
+            cursor: trace.cursor(),
             charging: cfg.charging.clone(),
             cpu: cfg.cpu.clone(),
             failures_enabled: failures,
-            fast_settle,
             verify_oracle: cfg.verify.then(|| FunctionalMem::new(size)),
             max_outages: cfg.max_outages,
             booted: false,
             now: 0,
             boot_time: 0,
+            last_sync: 0,
+            drained_pj: 0.0,
             instructions: 0,
             outages: 0,
             off_time_ps: 0,
             checkpoint_time_ps: 0,
             restore_time_ps: 0,
             error: None,
-            t_mark: 0,
-            eta_mark: 1.0,
-            spent_mark: 0.0,
-            band_lo_pj: 0.0,
-            band_hi_pj: 0.0,
-            static_anchor_ps: 0,
-            check_meter_base: 0.0,
-            check_drain_limit: 0.0,
-            check_deadline_ps: 0,
-        };
-        m.refreeze_eta();
-        m
+        }
     }
 
     /// Current simulation time.
@@ -281,121 +164,31 @@ impl Machine {
         }
     }
 
-    /// Folds static leakage into the meter up to `now`. Static draw
-    /// accrues with wall-clock on-time (stalls are not energy-free);
-    /// off-time is excluded by re-anchoring after each recharge.
-    fn fold_static(&mut self) {
-        let dt = self.now - self.static_anchor_ps;
+    /// Integrates harvested energy and drains metered consumption,
+    /// without triggering the failure protocol.
+    fn sync_energy(&mut self) {
+        let dt = self.now - self.last_sync;
         if dt > 0 {
-            self.meter
-                .add(EnergyCategory::Compute, dt as f64 * self.static_rate);
-            self.static_anchor_ps = self.now;
+            // Static draw accrues with wall-clock on-time (stalls are
+            // not energy-free).
+            self.meter.add(
+                EnergyCategory::Compute,
+                dt as f64 * self.cpu.static_power_uw * 1e-6,
+            );
         }
-    }
-
-    /// Capacitor energy at `now`, unclamped. Requires static leakage
-    /// folded up to `now` (see [`Machine::fold_static`]).
-    fn x_now(&self) -> Pj {
-        let harvested = self.cursor.peek(self.now - self.t_mark);
-        self.e_mark + self.eta_mark * harvested - (self.meter.total() - self.spent_mark)
-    }
-
-    /// Capacitor energy at `now` for [`MemCtx`] consumers, including
-    /// static leakage not yet folded, clamped to the physical range.
-    fn energy_now(&self) -> Pj {
-        let pending = (self.now - self.static_anchor_ps) as f64 * self.static_rate;
-        let harvested = self.cursor.peek(self.now - self.t_mark);
-        let x = self.e_mark + self.eta_mark * harvested
-            - (self.meter.total() + pending - self.spent_mark);
-        x.clamp(0.0, self.e_max_pj)
-    }
-
-    /// Refreezes the charging efficiency and the ±[`ETA_BAND_V`] band
-    /// at the capacitor's current voltage.
-    fn refreeze_eta(&mut self) {
-        let v = self.cap.voltage();
-        self.eta_mark = self.charging.efficiency(v);
-        self.band_lo_pj = self.cap.energy_at_pj((v - ETA_BAND_V).max(0.0));
-        self.band_hi_pj = self.cap.energy_at_pj(v + ETA_BAND_V).min(self.e_max_pj);
-    }
-
-    /// Re-anchors the lazy model at `now` with energy `e`: advances the
-    /// harvesting cursor to `now`, snapshots the meter, and refreezes
-    /// η. Callers must have folded static leakage and computed `e` at
-    /// `now` (the internal fold is then a no-op, kept for safety).
-    fn remark(&mut self, e: Pj) {
-        self.fold_static();
-        let dt = self.now - self.t_mark;
-        if dt > 0 {
-            self.cursor.advance(dt);
-        }
-        self.t_mark = self.now;
-        self.e_mark = e.clamp(0.0, self.e_max_pj);
-        self.spent_mark = self.meter.total();
-        self.cap
-            .set_voltage(self.cap.voltage_for_energy(self.e_mark));
-        self.refreeze_eta();
-    }
-
-    /// Recomputes the fast-path budget: the drain pool (energy above
-    /// both the band floor and the ceiling `Vbackup`) and the earliest
-    /// time the energy could exit the band upward at the trace's
-    /// maximum power. Non-semantic: only schedules the next forced
-    /// full check.
-    fn reschedule(&mut self) {
-        let x = self.x_now();
-        self.check_meter_base = self.meter.total();
-        self.check_drain_limit = (x - self.e_floor_pool_pj.max(self.band_lo_pj)).max(0.0);
-        let head_up = (self.band_hi_pj - x).max(0.0);
-        let up_rate = self.eta_mark * self.max_power_uw * 1e-6; // pJ/ps
-        self.check_deadline_ps = if up_rate > 0.0 {
-            self.now
-                .saturating_add((head_up / up_rate).min(9.0e18) as Ps)
-        } else {
-            Ps::MAX
-        };
-    }
-
-    /// The full settlement check: saturation clamp, outage detection
-    /// against the design's *fresh* thresholds, and η-band refreeze.
-    /// When none of those fire, this is a pure no-op (plus a
-    /// reschedule) — the property the fast path relies on.
-    fn full_check(&mut self) {
-        loop {
-            let x = self.x_now();
-            if x >= self.e_max_pj {
-                // Saturated: the front end discards further harvest.
-                self.remark(self.e_max_pj);
-                break;
+        if self.failures_enabled {
+            if dt > 0 {
+                let harvested = self.cursor.advance(dt);
+                let eta = self.charging.efficiency(self.cap.voltage());
+                self.cap.charge_pj(harvested * eta);
             }
-            let v_backup = self.design.thresholds().v_backup;
-            if x < self.cap.energy_at_pj(v_backup) {
-                self.power_failure();
-                continue;
+            let spent = self.meter.total() - self.drained_pj;
+            if spent > 0.0 {
+                self.cap.drain_pj(spent);
             }
-            if x > self.band_hi_pj || x < self.band_lo_pj {
-                self.remark(x);
-            }
-            break;
         }
-        self.reschedule();
-    }
-
-    /// Per-retire settlement: folds static leakage, then either skips
-    /// (budget not exhausted, deadline not reached) or runs the full
-    /// check.
-    fn post_op(&mut self) {
-        self.fold_static();
-        if !self.failures_enabled {
-            return;
-        }
-        if self.fast_settle
-            && self.meter.total() - self.check_meter_base < self.check_drain_limit
-            && self.now < self.check_deadline_ps
-        {
-            return;
-        }
-        self.full_check();
+        self.last_sync = self.now;
+        self.drained_pj = self.meter.total();
     }
 
     /// First power-up: harvest from an empty capacitor to `Von` before
@@ -409,13 +202,21 @@ impl Machine {
         self.booted = true;
         self.recharge_to_von();
         self.boot_time = self.now;
-        self.reschedule();
+        self.last_sync = self.now;
+    }
+
+    /// Energy settlement plus the power-failure check.
+    fn settle(&mut self) {
+        self.sync_energy();
+        if self.failures_enabled {
+            while self.cap.voltage() < self.design.thresholds().v_backup {
+                self.power_failure();
+            }
+        }
     }
 
     /// The full outage protocol (§3.2): checkpoint, verify, power off,
-    /// recharge to `Von`, reboot, adapt. Accounts eagerly — the lazy
-    /// model is materialized at entry and re-anchored after every
-    /// protocol phase.
+    /// recharge to `Von`, reboot, adapt.
     fn power_failure(&mut self) {
         if self.outages >= self.max_outages {
             self.abort(SimError::TooManyOutages {
@@ -424,18 +225,13 @@ impl Machine {
         }
         let fail_at = self.now;
         let on_time = self.now - self.boot_time;
-        self.fold_static();
-        let x = self.x_now();
-        self.remark(x);
 
         // JIT checkpoint: dirty lines (design-specific) + registers.
         let done = self.with_ctx(|design, ctx| design.checkpoint(ctx));
         self.now = done + self.cpu.reg_checkpoint_ps;
         self.meter
             .add(EnergyCategory::Compute, self.cpu.reg_checkpoint_pj);
-        self.fold_static();
-        let x = self.x_now();
-        self.remark(x);
+        self.sync_energy();
         self.checkpoint_time_ps += self.now - fail_at;
 
         // The reserve below Vbackup must have covered the checkpoint.
@@ -471,6 +267,7 @@ impl Machine {
 
         // Recharge to the design's Von.
         self.recharge_to_von();
+        self.last_sync = self.now;
 
         // Reboot: restore registers, warm/cold cache, adapt thresholds.
         let boot_start = self.now;
@@ -478,9 +275,7 @@ impl Machine {
         self.now = done + self.cpu.reg_restore_ps;
         self.meter
             .add(EnergyCategory::Compute, self.cpu.reg_restore_pj);
-        self.fold_static();
-        let x = self.x_now();
-        self.remark(x);
+        self.sync_energy();
         self.restore_time_ps += self.now - boot_start;
 
         self.outages += 1;
@@ -490,13 +285,9 @@ impl Machine {
     /// Charges the (powered-off) capacitor up to the design's `Von`,
     /// stepping the voltage so the front end's falling efficiency near
     /// `Vmax` is honoured; the elapsed time is counted as off-time.
-    /// Static leakage does not accrue while off. On return the lazy
-    /// model is re-anchored at `Von`.
     fn recharge_to_von(&mut self) {
         let v_on = self.design.thresholds().v_on.min(self.cap.v_max());
         let mut budget = MAX_RECHARGE_PS;
-        // Callers re-marked before powering off, so the cursor sits at
-        // `now` and `cap` holds the pre-recharge voltage.
         while self.cap.voltage() < v_on - 1e-12 {
             let v = self.cap.voltage();
             let v_next = (v + 0.05).min(v_on);
@@ -519,33 +310,13 @@ impl Machine {
                 }
             }
         }
-        // Re-anchor at Von. `time_to_harvest` advanced the cursor in
-        // lock-step with `now`, and no static leakage accrued off-line.
-        self.t_mark = self.now;
-        self.e_mark = self.cap.energy_pj();
-        self.spent_mark = self.meter.total();
-        self.static_anchor_ps = self.now;
-        self.refreeze_eta();
     }
 
     /// Runs `f` with a fresh [`MemCtx`] at the current time; returns
-    /// `f`'s result (usually a completion time). The capacitor view is
-    /// evaluated from the lazy model at `now`, so designs always see
-    /// the up-to-date voltage regardless of when the last full
-    /// settlement ran.
+    /// `f`'s result (usually a completion time).
     fn with_ctx<R>(&mut self, f: impl FnOnce(&mut DesignBox, &mut MemCtx<'_>) -> R) -> R {
-        let (cap_voltage, cap_energy_pj) = if self.failures_enabled {
-            let x = self.energy_now();
-            (
-                self.cap.voltage_for_energy(x),
-                (x - self.e_vmin_pj).max(0.0),
-            )
-        } else {
-            (
-                self.cap.voltage(),
-                self.cap.energy_above_pj(self.cap.v_min()),
-            )
-        };
+        let cap_voltage = self.cap.voltage();
+        let cap_energy_pj = self.cap.energy_above_pj(self.cap.v_min());
         let mut ctx = MemCtx {
             now: self.now,
             port: &mut self.port,
@@ -579,7 +350,7 @@ impl Bus for Machine {
         // In-order core: an instruction takes at least one cycle.
         self.now = done.max(start + self.cpu.ps_per_cycle);
         self.retire_instruction();
-        self.post_op();
+        self.settle();
         value
     }
 
@@ -593,7 +364,7 @@ impl Bus for Machine {
             oracle.write(addr, size, value);
         }
         self.retire_instruction();
-        self.post_op();
+        self.settle();
     }
 
     fn compute(&mut self, cycles: u64) {
@@ -612,7 +383,7 @@ impl Bus for Machine {
             let n = self.instructions;
             let done = self.with_ctx(|design, ctx| design.on_instructions(ctx, n));
             self.now = self.now.max(done);
-            self.post_op();
+            self.settle();
         }
     }
 }
@@ -716,37 +487,5 @@ mod tests {
         assert!(meter.cache_write > 0.0);
         assert!(meter.mem_read > 0.0, "miss fills read NVM");
         assert!(meter.mem_write > 0.0, "cleanings write NVM");
-    }
-
-    /// The fast path must be bit-exact: with the budgeted scheduler
-    /// disabled, the full check runs at every retire and must leave
-    /// identical machine state.
-    #[test]
-    fn fast_path_matches_exhaustive_settlement() {
-        for trace in [TraceKind::Rf1, TraceKind::Solar] {
-            for base in SimConfig::all_designs() {
-                let design = base.design.label();
-                let run = |fast: bool| {
-                    let mut m = machine(base.clone().with_trace(trace).with_fast_settle(fast));
-                    for round in 0..60u32 {
-                        for i in 0..256u32 {
-                            m.store_u32(i * 8 % 4096, i.wrapping_mul(round + 1));
-                        }
-                        m.compute(50_000);
-                        let _ = m.load_u32(round * 64 % 4096);
-                    }
-                    (
-                        m.now(),
-                        m.instructions(),
-                        m.outages(),
-                        m.off_time_ps(),
-                        m.checkpoint_time_ps(),
-                        m.restore_time_ps(),
-                        m.meter().total(),
-                    )
-                };
-                assert_eq!(run(true), run(false), "{design} on {trace:?}");
-            }
-        }
     }
 }

@@ -7,10 +7,15 @@
 //! range/tuple/`prop::collection::vec` strategies, and `prop_map`.
 //!
 //! Semantics: each test body runs for `ProptestConfig::cases` cases
-//! with inputs drawn from a deterministic splitmix64 generator. There
-//! is no shrinking — a failing case panics with the generated inputs
-//! visible in the assertion message. Determinism across runs and
-//! platforms is guaranteed, which is what the simulation tests rely on.
+//! (256 by default, matching upstream) with inputs drawn from a
+//! deterministic splitmix64 generator.
+//!
+//! **Known gap vs upstream:** there is no shrinking — a failing case
+//! panics with the generated inputs visible in the assertion message
+//! instead of being minimized first, so counterexamples may be larger
+//! than the real proptest would report. Determinism across runs and
+//! platforms is guaranteed, which is what the simulation tests rely
+//! on.
 
 /// Configuration and RNG for the deterministic runner.
 pub mod test_runner {
@@ -30,7 +35,8 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            Self { cases: 32 }
+            // Upstream proptest's default case count.
+            Self { cases: 256 }
         }
     }
 
