@@ -1,0 +1,229 @@
+//! Per-layer hot-path microbenchmark: raw simulated-instruction
+//! throughput of the per-access / per-retire path, per cache design.
+//!
+//! Unlike `BENCH_sweep.json` (which times the whole figure suite through
+//! the memoized sweep engine), this binary drives [`ehsim::Machine`]
+//! directly with a fixed, deterministic load/store/compute mix and
+//! reports instructions per wall-clock second — the quantity the
+//! tentpole optimisations (SoA tag array, O(1) settlement, incremental
+//! consistency checking) are meant to move. Two scenarios per design:
+//!
+//! * `no-failure` — no harvesting trace, so `settle()` never runs the
+//!   outage protocol: this isolates the per-access cache path plus the
+//!   energy-metering fixed costs.
+//! * `tr.1(RF)` — the paper's Power Trace 1 with real outages: this
+//!   additionally exercises charge integration, the voltage monitor,
+//!   checkpoints and recharge.
+//!
+//! The vendored criterion stub cannot report measurements
+//! programmatically, so timing uses `std::time::Instant` directly; each
+//! scenario takes the best of `REPS` repetitions to suppress scheduler
+//! noise. Results go to `BENCH_hotpath.json`. If the environment
+//! variable `EHSIM_HOTPATH_BASELINE_IPS` holds the aggregate
+//! instructions/sec of a previous run (the pre-PR baseline), the JSON
+//! also records it and the resulting speedup. If
+//! `EHSIM_HOTPATH_BASELINE_JSON` points at a `BENCH_hotpath.json`
+//! produced by the *baseline* binary, each scenario additionally
+//! records its own baseline throughput and speedup, plus their
+//! geometric mean — the per-layer comparison (an aggregate over wall
+//! time is dominated by the slowest scenarios, which are bound by the
+//! byte-identity contract on the settlement numerics, so it understates
+//! gains in the layers this benchmark exists to watch).
+//!
+//! `--smoke` shrinks the iteration counts to a few milliseconds total
+//! for CI smoke runs (throughput numbers are then meaningless; the run
+//! only proves the harness executes).
+
+use ehsim::{Machine, SimConfig};
+use ehsim_energy::TraceKind;
+use ehsim_mem::Bus;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Bytes of simulated memory; also the address space of the access mix.
+const MEM_BYTES: u32 = 64 * 1024;
+
+/// Per-iteration cost of [`drive`]: 8 stores + 8 loads + 64 compute.
+const INSTR_PER_ITER: u64 = 80;
+
+/// A deterministic load/store/compute mix over a working set larger than
+/// the cache, so fills, write-backs and evictions all stay hot. The LCG
+/// is fixed — every run issues the identical access sequence.
+fn drive(m: &mut Machine, iters: u32) -> u64 {
+    let mut x = 0x9e37_79b9u32;
+    for _ in 0..iters {
+        for j in 0..8u32 {
+            let addr = (x.wrapping_add(j.wrapping_mul(0x61c8_8647)) >> 7) % (MEM_BYTES / 4) * 4;
+            m.store_u32(addr, x ^ j);
+            black_box(m.load_u32(addr));
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        }
+        m.compute(64);
+    }
+    m.instructions()
+}
+
+struct Scenario {
+    design: &'static str,
+    trace: &'static str,
+    instructions: u64,
+    best_wall_s: f64,
+    ips: f64,
+}
+
+/// Per-scenario throughput extracted from a previous run's JSON
+/// (written by this same binary — one scenario object per line, so a
+/// line scan suffices and no JSON dependency is needed).
+fn parse_baseline_scenarios(text: &str) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (Some(design), Some(trace), Some(ips)) = (
+            field_str(line, "\"design\": \""),
+            field_str(line, "\"trace\": \""),
+            field_num(line, "\"instructions_per_second\": "),
+        ) else {
+            continue;
+        };
+        out.push((design, trace, ips));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+e".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn run_scenario(cfg: &SimConfig, iters: u32, reps: u32) -> (u64, f64) {
+    // Warm-up pass (not timed): page in code and trace storage.
+    let mut warm = Machine::new(cfg, MEM_BYTES);
+    drive(&mut warm, (iters / 8).max(1));
+    let mut best = f64::INFINITY;
+    let mut instructions = 0;
+    for _ in 0..reps {
+        let mut m = Machine::new(cfg, MEM_BYTES);
+        let t0 = Instant::now();
+        instructions = drive(&mut m, iters);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+    }
+    (instructions, best)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (iters, mut reps) = if smoke { (200, 1) } else { (40_000, 3) };
+    // More repetitions make the per-scenario best-of robust against
+    // multi-second throughput drift on shared machines.
+    if let Some(r) = std::env::var("EHSIM_HOTPATH_REPS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        reps = r.max(1);
+    }
+
+    let mut scenarios = Vec::new();
+    for cfg in SimConfig::all_designs() {
+        for trace in [TraceKind::None, TraceKind::Rf1] {
+            let cfg = cfg.clone().with_trace(trace);
+            let design = cfg.design.label();
+            let (instructions, wall) = run_scenario(&cfg, iters, reps);
+            let ips = instructions as f64 / wall;
+            eprintln!(
+                "hotpath: {design:>9} / {:<10} {ips:>12.0} instr/s",
+                trace.label()
+            );
+            scenarios.push(Scenario {
+                design,
+                trace: trace.label(),
+                instructions,
+                best_wall_s: wall,
+                ips,
+            });
+        }
+    }
+
+    let total_instr: u64 = scenarios.iter().map(|s| s.instructions).sum();
+    let total_wall: f64 = scenarios.iter().map(|s| s.best_wall_s).sum();
+    let aggregate = total_instr as f64 / total_wall;
+
+    let baseline = std::env::var("EHSIM_HOTPATH_BASELINE_IPS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok());
+    let baseline_scenarios = std::env::var("EHSIM_HOTPATH_BASELINE_JSON")
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .map(|t| parse_baseline_scenarios(&t))
+        .filter(|v| !v.is_empty());
+    let scenario_base = |s: &Scenario| -> Option<f64> {
+        baseline_scenarios
+            .as_ref()?
+            .iter()
+            .find_map(|(d, t, ips)| (d == s.design && t == s.trace).then_some(*ips))
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"iters_per_scenario\": {iters},");
+    let _ = writeln!(json, "  \"instructions_per_iter\": {INSTR_PER_ITER},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        let sep = if i + 1 == scenarios.len() { "" } else { "," };
+        let base_fields = match scenario_base(s) {
+            Some(b) => format!(
+                ", \"baseline_instructions_per_second\": {b:.1}, \"speedup\": {:.3}",
+                s.ips / b
+            ),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"design\": \"{}\", \"trace\": \"{}\", \"instructions\": {}, \"best_wall_s\": {:.6}, \"instructions_per_second\": {:.1}{base_fields}}}{sep}",
+            s.design, s.trace, s.instructions, s.best_wall_s, s.ips
+        );
+    }
+    json.push_str("  ],\n");
+    let speedups: Vec<f64> = scenarios
+        .iter()
+        .filter_map(|s| scenario_base(s).map(|b| s.ips / b))
+        .collect();
+    if !speedups.is_empty() {
+        let geomean = (speedups.iter().map(|r| r.ln()).sum::<f64>() / speedups.len() as f64).exp();
+        let _ = writeln!(json, "  \"geomean_speedup_vs_baseline\": {geomean:.3},");
+        println!("hotpath: per-scenario geomean speedup {geomean:.2}x");
+    }
+    let _ = writeln!(json, "  \"total_instructions\": {total_instr},");
+    let _ = writeln!(json, "  \"total_wall_s\": {total_wall:.6},");
+    if let Some(base) = baseline {
+        let _ = writeln!(
+            json,
+            "  \"aggregate_instructions_per_second\": {aggregate:.1},"
+        );
+        let _ = writeln!(json, "  \"baseline_instructions_per_second\": {base:.1},");
+        let _ = writeln!(json, "  \"speedup_vs_baseline\": {:.3}", aggregate / base);
+    } else {
+        let _ = writeln!(
+            json,
+            "  \"aggregate_instructions_per_second\": {aggregate:.1}"
+        );
+    }
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_hotpath.json", &json).expect("write BENCH_hotpath.json");
+    println!("hotpath: aggregate {aggregate:.0} instr/s -> BENCH_hotpath.json");
+    if let Some(base) = baseline {
+        println!("hotpath: speedup vs baseline {:.2}x", aggregate / base);
+    }
+}

@@ -41,6 +41,7 @@ impl MemCtx<'_> {
     /// Synchronously writes one full line (`data`) at `base` to NVM:
     /// schedules the port, updates the persistent bytes, meters energy
     /// and counts traffic. Returns the absolute completion (ACK) time.
+    #[inline]
     pub fn sync_line_write(&mut self, base: u32, data: &[u8]) -> Ps {
         let (_, done) = self.port.schedule(
             self.now,
@@ -59,6 +60,7 @@ impl MemCtx<'_> {
 
     /// Synchronously reads one full line at `base` from NVM into `buf`.
     /// Returns the absolute completion time.
+    #[inline]
     pub fn sync_line_read(&mut self, base: u32, buf: &mut [u8]) -> Ps {
         let (_, done) = self.port.schedule(self.now, self.timing.line_read_ps(), 0);
         self.nvm.read_line(base, buf);
@@ -73,6 +75,7 @@ impl MemCtx<'_> {
 
     /// Synchronously writes `size` bytes of `value` at `addr` to NVM
     /// (write-through store path). Returns the completion time.
+    #[inline]
     pub fn sync_word_write(&mut self, addr: u32, size: AccessSize, value: u64) -> Ps {
         let (_, done) = self.port.schedule(
             self.now,
@@ -93,6 +96,7 @@ impl MemCtx<'_> {
     /// `data`: the port is occupied but the caller does not wait.
     /// Returns the absolute ACK time. The persistent bytes are updated
     /// immediately (the snapshot is what lands in NVM).
+    #[inline]
     pub fn async_line_write(&mut self, base: u32, data: &[u8]) -> Ps {
         let done = self.sync_line_write(base, data);
         self.stats.async_writebacks += 1;
@@ -163,6 +167,17 @@ pub trait CacheDesign {
     /// consistent).
     fn persistent_overlay(&self, nvm: &FunctionalMem) -> FunctionalMem {
         nvm.clone()
+    }
+
+    /// Borrows the persistent bytes this design holds for the line at
+    /// `base`, if it shadows main memory there — the per-line view of
+    /// [`CacheDesign::persistent_overlay`]. `None` means main memory
+    /// itself is the persistent content at `base`. The incremental
+    /// crash-consistency checker uses this to compare only the lines
+    /// written since the previous outage, without cloning memory.
+    fn persistent_line(&self, base: u32) -> Option<&[u8]> {
+        let _ = base;
+        None
     }
 }
 

@@ -72,22 +72,19 @@ impl WbCore {
 
         let victim = self.array.victim(addr);
         if self.array.is_dirty(victim) {
-            // Synchronous eviction write-back of the dirty victim.
+            // Synchronous eviction write-back of the dirty victim,
+            // straight from the array's flat data block.
             let base = self.array.base_addr(victim);
             ctx.meter.add(EnergyCategory::CacheRead, self.tech.read_pj);
-            let data = self.array.line_data(victim).to_vec();
-            let done = ctx.sync_line_write(base, &data);
+            let done = ctx.sync_line_write(base, self.array.line_data(victim));
             ctx.stats.evict_writebacks += 1;
             ctx.now = done;
         }
 
-        // Demand fill.
-        let line_bytes = self.array.geometry().line_bytes() as usize;
+        // Demand fill: read from NVM directly into the victim slot.
         let base = self.array.geometry().line_base(addr);
-        let mut buf = vec![0u8; line_bytes];
-        let done = ctx.sync_line_read(base, &mut buf);
+        let done = ctx.sync_line_read(base, self.array.fill_slot(victim, addr));
         ctx.now = done;
-        self.array.fill(victim, addr, &buf);
         ctx.meter
             .add(EnergyCategory::CacheWrite, self.tech.write_pj);
         ctx.now += self.tech.write_hit_ps;

@@ -78,6 +78,11 @@ impl CacheDesign for NvCacheWb {
         }
         view
     }
+
+    fn persistent_line(&self, base: u32) -> Option<&[u8]> {
+        let sw = self.core.array().lookup(base)?;
+        Some(self.core.array().line_data(sw))
+    }
 }
 
 #[cfg(test)]

@@ -117,6 +117,11 @@ impl CacheDesign for NvSramCache {
         }
         view
     }
+
+    fn persistent_line(&self, base: u32) -> Option<&[u8]> {
+        let sw = self.core.array().lookup(base)?;
+        Some(self.core.array().line_data(sw))
+    }
 }
 
 #[cfg(test)]

@@ -222,13 +222,8 @@ impl CacheDesign for WriteBufferCache {
 
     fn checkpoint(&mut self, ctx: &mut MemCtx<'_>) -> Ps {
         self.reap(ctx.now);
-        let entries: Vec<(u32, Vec<u8>)> = self
-            .buffer
-            .iter()
-            .map(|e| (e.base, e.data.clone()))
-            .collect();
-        for (base, data) in entries {
-            let done = ctx.sync_line_write(base, &data);
+        for e in &self.buffer {
+            let done = ctx.sync_line_write(e.base, &e.data);
             ctx.now = done;
             ctx.stats.checkpoint_lines += 1;
         }

@@ -213,8 +213,7 @@ impl WlCache {
         // Step 2: snapshot and issue; the line stays in the cache.
         ctx.meter
             .add(EnergyCategory::CacheRead, self.core.tech().read_pj);
-        let data = self.core.array().line_data(sw).to_vec();
-        let ack_at = ctx.async_line_write(base, &data);
+        let ack_at = ctx.async_line_write(base, self.core.array().line_data(sw));
         ctx.meter.add(EnergyCategory::CacheWrite, DQ_ACCESS_PJ);
         self.dq.mark_cleaning(base, ack_at);
         self.wl_stats.cleanings += 1;
@@ -332,8 +331,7 @@ impl CacheDesign for WlCache {
             }
             ctx.meter
                 .add(EnergyCategory::CacheRead, self.core.tech().read_pj);
-            let data = self.core.array().line_data(sw).to_vec();
-            let done = ctx.sync_line_write(base, &data);
+            let done = ctx.sync_line_write(base, self.core.array().line_data(sw));
             ctx.now = done;
             self.core.array_mut().set_dirty(sw, false);
             ctx.stats.checkpoint_lines += 1;

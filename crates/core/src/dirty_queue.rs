@@ -60,6 +60,11 @@ pub struct DqEntry {
 pub struct DirtyQueue {
     entries: VecDeque<DqEntry>,
     capacity: usize,
+    /// Earliest ACK time among `Cleaning` entries (`None` when no
+    /// write-back is in flight). Lets [`DirtyQueue::pop_acked`] — which
+    /// the cache calls on every access — return without scanning the
+    /// queue when no ACK can have arrived yet.
+    min_ack: Option<Ps>,
 }
 
 impl DirtyQueue {
@@ -73,6 +78,7 @@ impl DirtyQueue {
         Self {
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            min_ack: None,
         }
     }
 
@@ -123,15 +129,28 @@ impl DirtyQueue {
     /// Removes every `Cleaning` entry whose ACK time has passed,
     /// returning how many slots were freed (step 4 of §5.3).
     pub fn pop_acked(&mut self, now: Ps) -> usize {
+        // No outstanding ACK can have arrived yet: the scan below would
+        // remove nothing, so skip it (this is the common case — the
+        // cache polls on every access).
+        if self.min_ack.is_none_or(|m| m > now) {
+            return 0;
+        }
         let before = self.entries.len();
         self.entries
             .retain(|e| !matches!(e.state, DqState::Cleaning { ack_at } if ack_at <= now));
+        self.min_ack = self.scan_next_ack();
         before - self.entries.len()
     }
 
     /// Earliest outstanding ACK time among `Cleaning` entries, if any —
     /// what a stalled store waits for.
     pub fn next_ack(&self) -> Option<Ps> {
+        debug_assert_eq!(self.min_ack, self.scan_next_ack());
+        self.min_ack
+    }
+
+    /// Recomputes the earliest outstanding ACK by scanning the queue.
+    fn scan_next_ack(&self) -> Option<Ps> {
         self.entries
             .iter()
             .filter_map(|e| match e.state {
@@ -215,6 +234,9 @@ impl DirtyQueue {
             .find(|e| e.base == base && e.state == DqState::Dirty)
             .expect("mark_cleaning: no dirty entry for base");
         e.state = DqState::Cleaning { ack_at };
+        if self.min_ack.is_none_or(|m| ack_at < m) {
+            self.min_ack = Some(ack_at);
+        }
     }
 
     /// Iterates over all entries (used by the JIT checkpoint, which
@@ -228,6 +250,7 @@ impl DirtyQueue {
     /// tracked lines first, §3.3).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.min_ack = None;
     }
 }
 

@@ -17,6 +17,10 @@ pub struct Capacitor {
     voltage: f64,
     v_min: f64,
     v_max: f64,
+    /// `energy_at_pj(v_min)`, precomputed once at construction with the
+    /// identical `½CV²` expression so [`Capacitor::energy_above_min_pj`]
+    /// returns bit-for-bit what `energy_above_pj(v_min)` would.
+    e_at_v_min_pj: Pj,
 }
 
 impl Capacitor {
@@ -34,6 +38,7 @@ impl Capacitor {
             voltage: v_min,
             v_min,
             v_max,
+            e_at_v_min_pj: 0.5 * capacitance_f * v_min * v_min * J_TO_PJ,
         }
     }
 
@@ -53,37 +58,44 @@ impl Capacitor {
     }
 
     /// Current voltage in volts.
+    #[inline]
     pub fn voltage(&self) -> f64 {
         self.voltage
     }
 
     /// Lower operating voltage bound.
+    #[inline]
     pub fn v_min(&self) -> f64 {
         self.v_min
     }
 
     /// Upper operating voltage bound.
+    #[inline]
     pub fn v_max(&self) -> f64 {
         self.v_max
     }
 
     /// Sets the voltage directly (clamped to `[0, v_max]`).
+    #[inline]
     pub fn set_voltage(&mut self, v: f64) {
         self.voltage = v.clamp(0.0, self.v_max);
     }
 
     /// Total stored energy at the current voltage, in picojoules.
+    #[inline]
     pub fn energy_pj(&self) -> Pj {
         self.energy_at_pj(self.voltage)
     }
 
     /// Stored energy at voltage `v`, in picojoules.
+    #[inline]
     pub fn energy_at_pj(&self, v: f64) -> Pj {
         0.5 * self.capacitance_f * v * v * J_TO_PJ
     }
 
     /// Energy released when discharging from `v_hi` down to `v_lo`, in
     /// picojoules. Returns 0 if `v_hi <= v_lo`.
+    #[inline]
     pub fn energy_between_pj(&self, v_hi: f64, v_lo: f64) -> Pj {
         (self.energy_at_pj(v_hi) - self.energy_at_pj(v_lo)).max(0.0)
     }
@@ -93,8 +105,18 @@ impl Capacitor {
         self.energy_between_pj(self.voltage, v_floor)
     }
 
+    /// Energy still available before the voltage would fall to `v_min` —
+    /// equal to `energy_above_pj(self.v_min())`, with the floor energy
+    /// taken from the construction-time cache instead of recomputed on
+    /// every call (this sits on the simulator's per-retire path).
+    #[inline]
+    pub fn energy_above_min_pj(&self) -> Pj {
+        (self.energy_at_pj(self.voltage) - self.e_at_v_min_pj).max(0.0)
+    }
+
     /// Drains `pj` picojoules, lowering the voltage (floored at 0 V).
     /// Returns the new voltage.
+    #[inline]
     pub fn drain_pj(&mut self, pj: Pj) -> f64 {
         let e = (self.energy_pj() - pj).max(0.0);
         self.voltage = self.voltage_for_energy(e);
@@ -103,6 +125,7 @@ impl Capacitor {
 
     /// Adds `pj` picojoules of charge, raising the voltage (capped at
     /// `v_max`). Returns the new voltage.
+    #[inline]
     pub fn charge_pj(&mut self, pj: Pj) -> f64 {
         let e = self.energy_pj() + pj;
         self.voltage = self.voltage_for_energy(e).min(self.v_max);
@@ -110,6 +133,7 @@ impl Capacitor {
     }
 
     /// Voltage corresponding to a stored energy of `pj` picojoules.
+    #[inline]
     pub fn voltage_for_energy(&self, pj: Pj) -> f64 {
         (2.0 * pj / J_TO_PJ / self.capacitance_f).max(0.0).sqrt()
     }
@@ -199,6 +223,18 @@ mod tests {
             let c = Capacitor::with_uf(3.3, 0.0, 5.0);
             let e = c.energy_at_pj(v);
             prop_assert!((c.voltage_for_energy(e) - v).abs() < 1e-9);
+        }
+
+        #[test]
+        fn energy_above_min_matches_uncached(v in 0.0f64..3.5) {
+            let mut c = Capacitor::paper_default();
+            c.set_voltage(v);
+            // Bit-identical, not approximately equal: the cached floor
+            // energy must not perturb the per-retire context values.
+            prop_assert_eq!(
+                c.energy_above_min_pj().to_bits(),
+                c.energy_above_pj(c.v_min()).to_bits()
+            );
         }
 
         #[test]

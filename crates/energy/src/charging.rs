@@ -45,11 +45,24 @@ impl ChargingModel {
 
     /// Fraction of harvested power actually delivered into the
     /// capacitor at voltage `v`.
+    #[inline]
     pub fn efficiency(&self, v: f64) -> f64 {
         if !self.v_knee.is_finite() {
             return 1.0;
         }
-        (1.0 - (v / self.v_knee).powi(self.steepness)).clamp(0.0, 1.0)
+        let r = v / self.v_knee;
+        // `powi` with a runtime exponent is a library call on the settle
+        // hot path. For the default steepness of 8 the call computes
+        // `1.0 * ((r²)²)²` by repeated squaring; doing the same squaring
+        // chain inline is bit-identical.
+        let p = if self.steepness == 8 {
+            let r2 = r * r;
+            let r4 = r2 * r2;
+            r4 * r4
+        } else {
+            r.powi(self.steepness)
+        };
+        (1.0 - p).clamp(0.0, 1.0)
     }
 }
 

@@ -264,10 +264,13 @@ impl PowerTrace {
     /// so this is O(1) and allocation-free no matter how many machines
     /// hold cursors into the same trace.
     pub fn cursor(&self) -> TraceCursor {
+        let first = self.data.segments[0];
         TraceCursor {
             data: Arc::clone(&self.data),
             seg_ix: 0,
             offset_ps: 0,
+            seg_power_uw: first.power_uw,
+            seg_left_ps: first.duration_ps,
         }
     }
 }
@@ -279,17 +282,57 @@ pub struct TraceCursor {
     data: Arc<TraceData>,
     seg_ix: usize,
     offset_ps: Ps,
+    /// Mirror of `segments[seg_ix].power_uw`, kept in the cursor so the
+    /// common-case advance never dereferences the `Arc`.
+    seg_power_uw: f64,
+    /// Mirror of `segments[seg_ix].duration_ps - offset_ps` — time left
+    /// in the current segment. Invariant: always > 0 (the cursor wraps
+    /// eagerly at segment boundaries, exactly like the seed loop).
+    seg_left_ps: Ps,
 }
 
 impl TraceCursor {
     /// Instantaneous harvesting power (µW) at the cursor.
     pub fn power_uw(&self) -> f64 {
-        self.data.segments[self.seg_ix].power_uw
+        self.seg_power_uw
+    }
+
+    /// Re-derives the current-segment mirrors after `seg_ix`/`offset_ps`
+    /// moved along the slow path.
+    fn resync(&mut self) {
+        let seg = &self.data.segments[self.seg_ix];
+        self.seg_power_uw = seg.power_uw;
+        self.seg_left_ps = seg.duration_ps - self.offset_ps;
     }
 
     /// Advances the cursor by `dt` picoseconds, returning the energy (pJ)
     /// harvested during that span.
-    pub fn advance(&mut self, mut dt: Ps) -> Pj {
+    ///
+    /// The typical settlement step is far shorter than a trace segment
+    /// (segments are hundreds of µs, steps are ns), so the fast path
+    /// below — stay inside the current segment, one multiply — is O(1)
+    /// amortized. Its product `power · dt · 1e-6` is the exact
+    /// single-iteration value of the seed's segment walk (`0.0 + x == x`
+    /// for the non-negative energies involved), and the slow path *is*
+    /// the seed's segment walk, so either path returns bit-identical
+    /// energy. Prefix-sum differencing over the segment energies was
+    /// deliberately rejected: a sum of per-segment totals rounds
+    /// differently than the seed's sequential accumulation and would
+    /// shift the figure goldens.
+    #[inline]
+    pub fn advance(&mut self, dt: Ps) -> Pj {
+        if dt < self.seg_left_ps {
+            self.seg_left_ps -= dt;
+            self.offset_ps += dt;
+            return self.seg_power_uw * dt as f64 * UW_PS_TO_PJ;
+        }
+        self.advance_slow(dt)
+    }
+
+    /// Segment-crossing tail of [`advance`](Self::advance), kept out of
+    /// line so the sub-segment fast path inlines cheaply at call sites.
+    #[inline(never)]
+    fn advance_slow(&mut self, mut dt: Ps) -> Pj {
         let mut harvested = 0.0;
         while dt > 0 {
             let seg = &self.data.segments[self.seg_ix];
@@ -303,6 +346,7 @@ impl TraceCursor {
                 self.seg_ix = (self.seg_ix + 1) % self.data.segments.len();
             }
         }
+        self.resync();
         harvested
     }
 
@@ -404,6 +448,100 @@ mod tests {
         let t = PowerTrace::constant(1.0);
         let mut c = t.cursor();
         assert_eq!(c.time_to_harvest(1e12, 1_000), None);
+    }
+
+    /// The seed implementation's segment walk, as an independent oracle
+    /// for the fast-path cursor.
+    struct RefWalk {
+        segs: Vec<(Ps, f64)>,
+        ix: usize,
+        off: Ps,
+    }
+
+    impl RefWalk {
+        fn new(t: &PowerTrace) -> Self {
+            Self {
+                segs: t.segments_iter().collect(),
+                ix: 0,
+                off: 0,
+            }
+        }
+
+        fn advance(&mut self, mut dt: Ps) -> f64 {
+            let mut harvested = 0.0;
+            while dt > 0 {
+                let (dur, p) = self.segs[self.ix];
+                let left = dur - self.off;
+                let step = left.min(dt);
+                harvested += p * step as f64 * UW_PS_TO_PJ;
+                dt -= step;
+                self.off += step;
+                if self.off == dur {
+                    self.off = 0;
+                    self.ix = (self.ix + 1) % self.segs.len();
+                }
+            }
+            harvested
+        }
+    }
+
+    #[test]
+    fn advance_is_bit_identical_to_seed_segment_walk() {
+        let t = TraceKind::Rf2.build();
+        let mut oracle = RefWalk::new(&t);
+        let mut c = t.cursor();
+        let mut x: u64 = 0x243f_6a88_85a3_08d3;
+        for i in 0..20_000u64 {
+            // Mixed step sizes: zero, ns-scale (fast path), exactly to
+            // the segment boundary, and multi-segment spans (slow path).
+            let step = match i % 8 {
+                0 => 0,
+                1..=5 => x % 100_000,
+                6 => t.data.segments[oracle.ix].duration_ps - oracle.off,
+                _ => 300_000_000 + x % 1_000_000_000,
+            };
+            assert_eq!(
+                c.advance(step).to_bits(),
+                oracle.advance(step).to_bits(),
+                "harvested energy diverged at step {i}"
+            );
+            assert_eq!((c.seg_ix, c.offset_ps), (oracle.ix, oracle.off));
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+    }
+
+    #[test]
+    fn advance_is_monotonic_and_keeps_segment_mirrors() {
+        let t = TraceKind::Rf1.build();
+        let total = t.total_ps();
+        let mut c = t.cursor();
+        let mut elapsed: Ps = 0;
+        let mut prev_pos: Ps = 0;
+        for i in 0..5_000u64 {
+            let step = (i * 977) % 250_000;
+            c.advance(step);
+            elapsed += step;
+            // The cursor's absolute position advances by exactly `dt`
+            // per call (modulo one trace cycle) and never runs backwards
+            // within a cycle.
+            let pos = t.data.segments[..c.seg_ix]
+                .iter()
+                .map(|s| s.duration_ps)
+                .sum::<Ps>()
+                + c.offset_ps;
+            assert_eq!(pos, elapsed % total, "position drifted at step {i}");
+            if elapsed % total >= prev_pos {
+                assert!(pos >= prev_pos);
+            }
+            prev_pos = pos;
+            // Mirror invariants behind the fast path.
+            let seg = &t.data.segments[c.seg_ix];
+            assert_eq!(c.seg_power_uw.to_bits(), seg.power_uw.to_bits());
+            assert_eq!(c.seg_left_ps, seg.duration_ps - c.offset_ps);
+            assert!(c.seg_left_ps > 0, "cursor must wrap eagerly");
+        }
     }
 
     #[test]

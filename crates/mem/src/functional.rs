@@ -12,16 +12,91 @@ use crate::{AccessSize, Bus};
 ///    obtain golden checksums without any timing or energy model.
 ///
 /// All multi-byte accesses are little-endian. Memory is zero-initialised.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// An optional line-granular write tracker (see
+/// [`FunctionalMem::enable_write_tracking`]) records which lines have
+/// been written since the tracker was last drained; the simulator's
+/// incremental crash-consistency checker uses it to compare only the
+/// lines that could have diverged since the previous outage instead of
+/// cloning and scanning the whole memory.
+#[derive(Debug, Clone)]
 pub struct FunctionalMem {
     bytes: Vec<u8>,
+    tracker: Option<WriteTracker>,
 }
+
+/// Line-granular dirty bitset over a [`FunctionalMem`].
+#[derive(Debug, Clone)]
+struct WriteTracker {
+    /// log2 of the tracking granularity in bytes.
+    line_shift: u32,
+    /// One bit per line, set when any byte of the line is written.
+    words: Vec<u64>,
+}
+
+impl WriteTracker {
+    #[inline]
+    fn mark_span(&mut self, addr: u32, len: usize) {
+        debug_assert!(len > 0);
+        let first = (addr >> self.line_shift) as usize;
+        let last = (addr as usize + len - 1) >> self.line_shift;
+        for line in first..=last {
+            self.words[line >> 6] |= 1u64 << (line & 63);
+        }
+    }
+}
+
+/// Equality is over memory contents only; write-tracking state is
+/// bookkeeping (the crash-consistency oracle compares bytes).
+impl PartialEq for FunctionalMem {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for FunctionalMem {}
 
 impl FunctionalMem {
     /// Creates a zero-filled memory of `size` bytes.
     pub fn new(size: u32) -> Self {
         Self {
             bytes: vec![0; size as usize],
+            tracker: None,
+        }
+    }
+
+    /// Starts recording which `line_bytes`-sized lines are written.
+    /// Replaces any previous tracker (previously recorded lines are
+    /// dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn enable_write_tracking(&mut self, line_bytes: u32) {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "tracking granularity must be a power of two"
+        );
+        let lines = (self.bytes.len() as u32).div_ceil(line_bytes) as usize;
+        self.tracker = Some(WriteTracker {
+            line_shift: line_bytes.trailing_zeros(),
+            words: vec![0; lines.div_ceil(64)],
+        });
+    }
+
+    /// Drains the write tracker: appends the base address of every line
+    /// written since the last drain to `out` (in ascending order) and
+    /// clears the recorded set. No-op if tracking is not enabled.
+    pub fn take_written_lines(&mut self, out: &mut Vec<u32>) {
+        let Some(t) = &mut self.tracker else { return };
+        for (wix, word) in t.words.iter_mut().enumerate() {
+            let mut w = *word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push((((wix << 6) | bit) as u32) << t.line_shift);
+                w &= w - 1;
+            }
+            *word = 0;
         }
     }
 
@@ -40,6 +115,7 @@ impl FunctionalMem {
     /// # Panics
     ///
     /// Panics if the access runs past the end of memory.
+    #[inline]
     pub fn read(&self, addr: u32, size: AccessSize) -> u64 {
         let a = addr as usize;
         let n = size.bytes() as usize;
@@ -56,11 +132,15 @@ impl FunctionalMem {
     /// # Panics
     ///
     /// Panics if the access runs past the end of memory.
+    #[inline]
     pub fn write(&mut self, addr: u32, size: AccessSize, value: u64) {
         let a = addr as usize;
         let n = size.bytes() as usize;
         for i in 0..n {
             self.bytes[a + i] = (value >> (8 * i)) as u8;
+        }
+        if let Some(t) = &mut self.tracker {
+            t.mark_span(addr, n);
         }
     }
 
@@ -69,6 +149,7 @@ impl FunctionalMem {
     /// # Panics
     ///
     /// Panics if the line runs past the end of memory.
+    #[inline]
     pub fn read_line(&self, base: u32, line: &mut [u8]) {
         let a = base as usize;
         line.copy_from_slice(&self.bytes[a..a + line.len()]);
@@ -79,12 +160,17 @@ impl FunctionalMem {
     /// # Panics
     ///
     /// Panics if the line runs past the end of memory.
+    #[inline]
     pub fn write_line(&mut self, base: u32, line: &[u8]) {
         let a = base as usize;
         self.bytes[a..a + line.len()].copy_from_slice(line);
+        if let Some(t) = &mut self.tracker {
+            t.mark_span(base, line.len());
+        }
     }
 
     /// Borrows the raw bytes.
+    #[inline]
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
     }
@@ -150,6 +236,54 @@ mod tests {
     fn out_of_bounds_panics() {
         let mem = FunctionalMem::new(4);
         let _ = mem.read(2, AccessSize::B4);
+    }
+
+    #[test]
+    fn write_tracking_reports_touched_lines_once() {
+        let mut mem = FunctionalMem::new(512);
+        mem.enable_write_tracking(64);
+        mem.write(4, AccessSize::B4, 1); // line 0
+        mem.write(62, AccessSize::B8, 2); // straddles lines 0 and 1
+        mem.write_line(256, &[7u8; 64]); // line 4
+        let mut lines = Vec::new();
+        mem.take_written_lines(&mut lines);
+        assert_eq!(lines, vec![0, 64, 256]);
+        // Drained: nothing new until the next write.
+        lines.clear();
+        mem.take_written_lines(&mut lines);
+        assert!(lines.is_empty());
+        mem.write(130, AccessSize::B1, 3);
+        mem.take_written_lines(&mut lines);
+        assert_eq!(lines, vec![128]);
+    }
+
+    #[test]
+    fn write_tracking_covers_every_changed_byte() {
+        let mut a = FunctionalMem::new(1024);
+        let mut b = FunctionalMem::new(1024);
+        b.enable_write_tracking(64);
+        let mut x: u32 = 0x1234_5678;
+        for _ in 0..200 {
+            let addr = x % (1024 - 8);
+            b.write(addr, AccessSize::B8, u64::from(x) << 7);
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        }
+        let mut lines = Vec::new();
+        b.take_written_lines(&mut lines);
+        // Every byte that differs from the pristine copy lies in a
+        // reported line — the soundness the incremental checker needs.
+        for (i, (x, y)) in a.as_bytes().iter().zip(b.as_bytes()).enumerate() {
+            if x != y {
+                let base = (i as u32 / 64) * 64;
+                assert!(lines.contains(&base), "changed byte {i} untracked");
+            }
+        }
+        // Tracking does not affect equality semantics.
+        a.write(0, AccessSize::B1, 1);
+        let mut c = FunctionalMem::new(1024);
+        c.enable_write_tracking(64);
+        c.write(0, AccessSize::B1, 1);
+        assert_eq!(a, c);
     }
 
     proptest! {

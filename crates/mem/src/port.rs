@@ -28,6 +28,7 @@ impl NvmPort {
     /// `start = max(now, busy_until)` and its result (data or ACK) is
     /// available at `done = start + service`. The port stays busy until
     /// `done + recovery`.
+    #[inline]
     pub fn schedule(&mut self, now: Ps, service: Ps, recovery: Ps) -> (Ps, Ps) {
         let start = now.max(self.busy_until);
         let done = start + service;
@@ -36,11 +37,13 @@ impl NvmPort {
     }
 
     /// First instant at which a new operation could start.
+    #[inline]
     pub fn busy_until(&self) -> Ps {
         self.busy_until
     }
 
     /// Whether the port is idle at `now`.
+    #[inline]
     pub fn is_idle_at(&self, now: Ps) -> bool {
         now >= self.busy_until
     }

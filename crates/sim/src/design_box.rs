@@ -12,6 +12,10 @@ use wl_cache::{WlCache, WlCacheBuilder};
 /// An enum (rather than `Box<dyn CacheDesign>`) keeps the hot
 /// load/store path free of virtual calls and lets the report builder
 /// reach the concrete [`WlCache`] for its §6.6 statistics.
+// One long-lived instance per Machine: the size spread between
+// variants costs nothing, while boxing the large ones would put a
+// pointer chase back on the per-access path this enum exists to avoid.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum DesignBox {
     /// Volatile write-through cache.
@@ -75,6 +79,15 @@ impl DesignBox {
             _ => None,
         }
     }
+
+    /// Whether this design overrides
+    /// [`CacheDesign::on_instructions`]. For every other design the
+    /// default implementation returns `ctx.now` unchanged, so the
+    /// machine can skip building a [`MemCtx`] per retired instruction
+    /// entirely — a pure hot-path saving with no observable effect.
+    pub fn has_instruction_hook(&self) -> bool {
+        matches!(self, DesignBox::Replay(_))
+    }
 }
 
 macro_rules! delegate {
@@ -123,6 +136,9 @@ impl CacheDesign for DesignBox {
     }
     fn persistent_overlay(&self, nvm: &FunctionalMem) -> FunctionalMem {
         delegate!(self, d => d.persistent_overlay(nvm))
+    }
+    fn persistent_line(&self, base: u32) -> Option<&[u8]> {
+        delegate!(self, d => d.persistent_line(base))
     }
 }
 

@@ -36,7 +36,14 @@ pub struct Machine {
     charging: ChargingModel,
     cpu: crate::CpuParams,
     failures_enabled: bool,
+    /// Whether the design overrides `on_instructions` (ReplayCache
+    /// only); when false, `retire_instruction` skips building a
+    /// [`MemCtx`] — the default hook returns `ctx.now` unchanged.
+    instr_hook: bool,
     verify_oracle: Option<FunctionalMem>,
+    /// Line size used by the incremental consistency checker's write
+    /// tracking (one cache line).
+    verify_line_bytes: u32,
     max_outages: u64,
 
     booted: bool,
@@ -44,6 +51,10 @@ pub struct Machine {
     boot_time: Ps,
     last_sync: Ps,
     drained_pj: Pj,
+    /// Meter version at which `drained_pj` was last brought up to date;
+    /// when unchanged, nothing was metered and the capacitor drain can
+    /// be skipped without re-summing the meter.
+    drained_version: u64,
     instructions: u64,
     outages: u64,
     off_time_ps: Ps,
@@ -74,12 +85,24 @@ impl Machine {
             .custom_trace
             .clone()
             .unwrap_or_else(|| cfg.trace.build());
+        let mut nvm = FunctionalMem::new(size);
+        let verify_oracle = cfg.verify.then(|| {
+            // Track NVM writes and oracle (store) writes at line
+            // granularity: the union of both sets covers every address
+            // at which the persistent view or the oracle can have
+            // changed since the previous consistency check.
+            nvm.enable_write_tracking(line);
+            let mut oracle = FunctionalMem::new(size);
+            oracle.enable_write_tracking(line);
+            oracle
+        });
+        let instr_hook = design.has_instruction_hook();
         Self {
             design,
             port: NvmPort::new(),
             timing: cfg.nvm_timing.clone(),
             energy: cfg.nvm_energy.clone(),
-            nvm: FunctionalMem::new(size),
+            nvm,
             meter: EnergyMeter::new(),
             stats: CacheStats::new(),
             cap,
@@ -87,13 +110,16 @@ impl Machine {
             charging: cfg.charging.clone(),
             cpu: cfg.cpu.clone(),
             failures_enabled: failures,
-            verify_oracle: cfg.verify.then(|| FunctionalMem::new(size)),
+            instr_hook,
+            verify_oracle,
+            verify_line_bytes: line,
             max_outages: cfg.max_outages,
             booted: false,
             now: 0,
             boot_time: 0,
             last_sync: 0,
             drained_pj: 0.0,
+            drained_version: 0,
             instructions: 0,
             outages: 0,
             off_time_ps: 0,
@@ -166,6 +192,16 @@ impl Machine {
 
     /// Integrates harvested energy and drains metered consumption,
     /// without triggering the failure protocol.
+    ///
+    /// `drained_pj` caches `meter.total()` as of the previous
+    /// settlement, tagged with the meter's add-count
+    /// (`drained_version`). Because `total()` is a fixed left-to-right
+    /// sum over the category fields, re-evaluating it only when
+    /// something was metered — and only once per settlement — yields the
+    /// exact values the seed computed by re-summing (twice) every time;
+    /// accumulating deltas instead would round differently and was
+    /// rejected. With failures disabled the cache is never read, so
+    /// no-failure runs do no total-summing at all.
     fn sync_energy(&mut self) {
         let dt = self.now - self.last_sync;
         if dt > 0 {
@@ -182,13 +218,17 @@ impl Machine {
                 let eta = self.charging.efficiency(self.cap.voltage());
                 self.cap.charge_pj(harvested * eta);
             }
-            let spent = self.meter.total() - self.drained_pj;
-            if spent > 0.0 {
-                self.cap.drain_pj(spent);
+            if self.meter.version() != self.drained_version {
+                let total = self.meter.total();
+                let spent = total - self.drained_pj;
+                if spent > 0.0 {
+                    self.cap.drain_pj(spent);
+                }
+                self.drained_pj = total;
+                self.drained_version = self.meter.version();
             }
         }
         self.last_sync = self.now;
-        self.drained_pj = self.meter.total();
     }
 
     /// First power-up: harvest from an empty capacitor to `Von` before
@@ -209,6 +249,9 @@ impl Machine {
     fn settle(&mut self) {
         self.sync_energy();
         if self.failures_enabled {
+            // `Vbackup` must be re-read from the design on every check:
+            // WL-Cache(dyn) raises it mid-run via the opportunistic
+            // dynamic `maxline` raise, not only at reboot.
             while self.cap.voltage() < self.design.thresholds().v_backup {
                 self.power_failure();
             }
@@ -243,22 +286,8 @@ impl Machine {
 
         // Crash-consistency verification: persistent state must
         // reconstruct the oracle.
-        if let Some(oracle) = &self.verify_oracle {
-            let view = self.design.persistent_overlay(&self.nvm);
-            if let Some(addr) = view
-                .as_bytes()
-                .iter()
-                .zip(oracle.as_bytes())
-                .position(|(a, b)| a != b)
-            {
-                let e = SimError::ConsistencyViolation {
-                    addr: addr as u32,
-                    expected: oracle.as_bytes()[addr],
-                    actual: view.as_bytes()[addr],
-                    outage: self.outages,
-                };
-                self.abort(e);
-            }
+        if self.verify_oracle.is_some() {
+            self.verify_consistency();
         }
 
         // Power off: volatile state is lost.
@@ -280,6 +309,80 @@ impl Machine {
 
         self.outages += 1;
         self.boot_time = self.now;
+    }
+
+    /// Incremental crash-consistency check: compares the persistent
+    /// view against the oracle only at the lines written (to NVM, or to
+    /// the oracle by stores) since the previous check, in ascending
+    /// address order — aborting with the same
+    /// [`SimError::ConsistencyViolation`] (`addr`/`expected`/`actual`)
+    /// the seed's full scan reported.
+    ///
+    /// Why the candidate set suffices: at the previous check every byte
+    /// of the view matched the oracle. A byte of the *oracle* changes
+    /// only through a store (tracked by the oracle's writes). A byte of
+    /// the *view* is either NVM (every NVM write is tracked — demand
+    /// evictions, cleanings, drains, checkpoints, replay landings all go
+    /// through `FunctionalMem`) or a valid line of an NV array, whose
+    /// contents change only through stores — which update the oracle at
+    /// the same addresses and are therefore tracked too. Fills copy NVM
+    /// bytes verbatim and evictions of clean lines drop data equal to
+    /// NVM, so coverage transitions never change the view. In debug
+    /// builds the full-overlay scan cross-checks this argument on every
+    /// outage.
+    fn verify_consistency(&mut self) {
+        let mut lines: Vec<u32> = Vec::new();
+        self.nvm.take_written_lines(&mut lines);
+        let oracle = self.verify_oracle.as_mut().expect("verify enabled");
+        oracle.take_written_lines(&mut lines);
+        lines.sort_unstable();
+        lines.dedup();
+
+        let oracle = self.verify_oracle.as_ref().expect("verify enabled");
+        let lb = self.verify_line_bytes as usize;
+        let mut mismatch: Option<(u32, u8, u8)> = None;
+        'scan: for &base in &lines {
+            let a = base as usize;
+            let view: &[u8] = match self.design.persistent_line(base) {
+                Some(cached) => cached,
+                None => &self.nvm.as_bytes()[a..a + lb],
+            };
+            let expected = &oracle.as_bytes()[a..a + lb];
+            for (i, (v, e)) in view.iter().zip(expected).enumerate() {
+                if v != e {
+                    mismatch = Some((base + i as u32, *e, *v));
+                    break 'scan;
+                }
+            }
+        }
+
+        #[cfg(debug_assertions)]
+        {
+            // Oracle the oracle: the seed's full clone-and-scan must
+            // agree with the incremental verdict.
+            let full_view = self.design.persistent_overlay(&self.nvm);
+            let full = full_view
+                .as_bytes()
+                .iter()
+                .zip(oracle.as_bytes())
+                .position(|(a, b)| a != b)
+                .map(|addr| addr as u32);
+            assert_eq!(
+                full,
+                mismatch.map(|(addr, ..)| addr),
+                "incremental consistency check diverged from the full scan"
+            );
+        }
+
+        if let Some((addr, expected, actual)) = mismatch {
+            let e = SimError::ConsistencyViolation {
+                addr,
+                expected,
+                actual,
+                outage: self.outages,
+            };
+            self.abort(e);
+        }
     }
 
     /// Charges the (powered-off) capacitor up to the design's `Von`,
@@ -316,7 +419,7 @@ impl Machine {
     /// `f`'s result (usually a completion time).
     fn with_ctx<R>(&mut self, f: impl FnOnce(&mut DesignBox, &mut MemCtx<'_>) -> R) -> R {
         let cap_voltage = self.cap.voltage();
-        let cap_energy_pj = self.cap.energy_above_pj(self.cap.v_min());
+        let cap_energy_pj = self.cap.energy_above_min_pj();
         let mut ctx = MemCtx {
             now: self.now,
             port: &mut self.port,
@@ -335,9 +438,11 @@ impl Machine {
         self.instructions += 1;
         self.meter
             .add(EnergyCategory::Compute, self.cpu.compute_pj_per_cycle);
-        let n = self.instructions;
-        let done = self.with_ctx(|design, ctx| design.on_instructions(ctx, n));
-        self.now = self.now.max(done);
+        if self.instr_hook {
+            let n = self.instructions;
+            let done = self.with_ctx(|design, ctx| design.on_instructions(ctx, n));
+            self.now = self.now.max(done);
+        }
     }
 }
 
@@ -380,9 +485,11 @@ impl Bus for Machine {
                 chunk as f64 * self.cpu.compute_pj_per_cycle,
             );
             self.instructions += chunk;
-            let n = self.instructions;
-            let done = self.with_ctx(|design, ctx| design.on_instructions(ctx, n));
-            self.now = self.now.max(done);
+            if self.instr_hook {
+                let n = self.instructions;
+                let done = self.with_ctx(|design, ctx| design.on_instructions(ctx, n));
+                self.now = self.now.max(done);
+            }
             self.settle();
         }
     }
@@ -449,6 +556,44 @@ mod tests {
             for i in 0..512u32 {
                 assert_eq!(m.load_u32(i * 8 % 4096), i.wrapping_mul(200), "{design}");
             }
+        }
+    }
+
+    #[test]
+    fn consistency_violation_detected_incrementally_with_seed_semantics() {
+        // Corrupt NVM behind the oracle's back through the tracked write
+        // path: the incremental checker must catch it at the next outage
+        // and report the same addr/expected/actual the full scan would
+        // (the debug-build cross-check inside verify_consistency
+        // additionally asserts agreement with the full clone-and-scan).
+        let cfg = SimConfig::wl_cache()
+            .with_trace(TraceKind::Rf1)
+            .with_verify();
+        let mut m = machine(cfg);
+        m.store_u32(0, 1);
+        // Line 3968..4032 is never touched by the workload below.
+        m.nvm.write(4000, AccessSize::B1, 0xee);
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for round in 0..2_000u32 {
+                for i in 0..512u32 {
+                    m.store_u32(i * 8 % 2048, i ^ round);
+                }
+                m.compute(100_000);
+            }
+        }));
+        assert!(run.is_err(), "corruption must abort at an outage");
+        match m.take_error() {
+            Some(SimError::ConsistencyViolation {
+                addr,
+                expected,
+                actual,
+                ..
+            }) => {
+                assert_eq!(addr, 4000);
+                assert_eq!(expected, 0, "oracle still holds the boot value");
+                assert_eq!(actual, 0xee);
+            }
+            e => panic!("expected ConsistencyViolation, got {e:?}"),
         }
     }
 
