@@ -34,7 +34,7 @@
 //! for CI smoke runs (throughput numbers are then meaningless; the run
 //! only proves the harness executes).
 
-use ehsim::{Machine, SimConfig};
+use ehsim::{Machine, ObserverBox, SimConfig};
 use ehsim_energy::TraceKind;
 use ehsim_mem::Bus;
 use std::fmt::Write as _;
@@ -119,6 +119,28 @@ fn run_scenario(cfg: &SimConfig, iters: u32, reps: u32) -> (u64, f64) {
     (instructions, best)
 }
 
+/// Like [`run_scenario`] but with the recording observer attached:
+/// measures what enabling full event capture costs on the same drive
+/// mix. Also returns the recorded event count of the final repetition,
+/// to put the cost in events/iteration terms.
+fn run_recording_scenario(cfg: &SimConfig, iters: u32, reps: u32) -> (u64, f64, usize) {
+    let mut warm = Machine::with_observer(cfg, MEM_BYTES, ObserverBox::recording());
+    drive(&mut warm, (iters / 8).max(1));
+    let mut best = f64::INFINITY;
+    let mut instructions = 0;
+    let mut events = 0;
+    for _ in 0..reps {
+        let mut m = Machine::with_observer(cfg, MEM_BYTES, ObserverBox::recording());
+        let t0 = Instant::now();
+        instructions = drive(&mut m, iters);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        let end = m.now();
+        events = m.take_observer().into_trace(end).events.len();
+    }
+    (instructions, best, events)
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (iters, mut reps) = if smoke { (200, 1) } else { (40_000, 3) };
@@ -150,6 +172,30 @@ fn main() {
                 ips,
             });
         }
+    }
+
+    // Recording-observer overhead: the WL-Cache scenarios once more
+    // with full event capture attached. Kept out of the aggregate —
+    // this section quantifies the cost of *observing*, not the hot
+    // path itself (which ships with the no-op observer).
+    let mut recording = Vec::new();
+    for trace in [TraceKind::None, TraceKind::Rf1] {
+        let cfg = SimConfig::wl_cache().with_trace(trace);
+        let design = cfg.design.label();
+        let (instructions, wall, events) = run_recording_scenario(&cfg, iters, reps);
+        let ips = instructions as f64 / wall;
+        let noop_ips = scenarios
+            .iter()
+            .find(|s| s.design == design && s.trace == trace.label())
+            .map(|s| s.ips)
+            .unwrap_or(ips);
+        let slowdown_pct = (noop_ips / ips - 1.0) * 100.0;
+        eprintln!(
+            "hotpath: {design:>9} / {:<10} {ips:>12.0} instr/s recording \
+             ({events} events, {slowdown_pct:+.1} % vs no-op)",
+            trace.label()
+        );
+        recording.push((design, trace.label(), events, ips, slowdown_pct));
     }
 
     let total_instr: u64 = scenarios.iter().map(|s| s.instructions).sum();
@@ -192,6 +238,15 @@ fn main() {
             json,
             "    {{\"design\": \"{}\", \"trace\": \"{}\", \"instructions\": {}, \"best_wall_s\": {:.6}, \"instructions_per_second\": {:.1}{base_fields}}}{sep}",
             s.design, s.trace, s.instructions, s.best_wall_s, s.ips
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"recording_observer\": [\n");
+    for (i, (design, trace, events, ips, slowdown)) in recording.iter().enumerate() {
+        let sep = if i + 1 == recording.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"observed_design\": \"{design}\", \"observed_trace\": \"{trace}\", \"events\": {events}, \"ips_recording\": {ips:.1}, \"slowdown_vs_noop_pct\": {slowdown:.1}}}{sep}",
         );
     }
     json.push_str("  ],\n");

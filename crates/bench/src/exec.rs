@@ -30,6 +30,14 @@
 //! Setting `EHSIM_SWEEP_SERIAL=1` bypasses both the pool and the cache
 //! (every job simulates inline, in order); the byte-identity test uses
 //! it to produce the serial reference.
+//!
+//! Setting `EHSIM_TRACE_WORKLOAD=<name>` additionally records an event
+//! timeline for every simulation of that workload: each one dumps a
+//! Chrome `trace_event` JSON and a per-interval metrics TSV into
+//! `EHSIM_TRACE_DIR` (default `traces/`), named
+//! `<workload>__<design>__<trace>`. Recording does not change any
+//! simulated value, so figures regenerated with tracing on are
+//! byte-identical.
 
 use ehsim::{DesignKind, Report, SimConfig, Simulator};
 use ehsim_cache::ReplacementPolicy;
@@ -255,6 +263,65 @@ fn memo_key(job: &Job) -> Option<MemoKey> {
     Some(MemoKey(k))
 }
 
+/// The workload name whose simulations should also dump event
+/// timelines (`EHSIM_TRACE_WORKLOAD`), if any.
+fn trace_workload() -> Option<&'static str> {
+    static W: OnceLock<Option<String>> = OnceLock::new();
+    W.get_or_init(|| {
+        std::env::var("EHSIM_TRACE_WORKLOAD")
+            .ok()
+            .filter(|w| !w.is_empty())
+    })
+    .as_deref()
+}
+
+/// Turns a design/trace label into a filename fragment.
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Dumps the Chrome trace and interval metrics for one traced
+/// simulation into `EHSIM_TRACE_DIR` (default `traces/`). Export
+/// failures only warn: a sweep must not die over a timeline.
+fn dump_trace(job: &Job, report: &Report, trace: &ehsim::RunTrace) {
+    let dir = std::env::var("EHSIM_TRACE_DIR").unwrap_or_else(|_| "traces".into());
+    let stem = format!(
+        "{}__{}__{}",
+        sanitize(&report.workload),
+        sanitize(&report.design),
+        sanitize(report.trace)
+    );
+    let name = format!("{} / {} / {}", report.workload, report.design, report.trace);
+    let dir = std::path::Path::new(&dir);
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(
+            dir.join(format!("{stem}.trace.json")),
+            trace.chrome_trace(&name),
+        )?;
+        std::fs::write(
+            dir.join(format!("{stem}.intervals.tsv")),
+            trace.interval_metrics_tsv(),
+        )
+    };
+    if let Err(e) = write() {
+        eprintln!(
+            "warning: failed to dump trace for {} ({}): {e}",
+            name,
+            job.cfg.trace_label()
+        );
+    }
+}
+
 /// Runs one job to completion, panicking with context on simulation
 /// errors (the harness treats them as fatal).
 fn simulate(job: &Job) -> Report {
@@ -264,9 +331,20 @@ fn simulate(job: &Job) -> Report {
         .unwrap_or_else(|| panic!("workload index {} out of range", job.workload));
     let label = job.cfg.design.label();
     let trace = job.cfg.trace_label();
-    let report = Simulator::new(job.cfg.clone())
-        .run(w.as_ref())
-        .unwrap_or_else(|e| panic!("{label} / {} on {trace}: {e}", w.name()));
+    // A traced run is bit-identical to an untraced one (the observer
+    // only records), so routing the selected workload through
+    // `run_traced` cannot change any figure byte.
+    let report = if trace_workload() == Some(w.name()) {
+        Simulator::new(job.cfg.clone())
+            .run_traced(w.as_ref())
+            .map(|(report, run_trace)| {
+                dump_trace(job, &report, &run_trace);
+                report
+            })
+    } else {
+        Simulator::new(job.cfg.clone()).run(w.as_ref())
+    }
+    .unwrap_or_else(|e| panic!("{label} / {} on {trace}: {e}", w.name()));
     let c = counters();
     c.sims.fetch_add(1, Ordering::Relaxed);
     c.instructions

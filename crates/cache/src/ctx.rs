@@ -3,6 +3,7 @@
 use crate::CacheStats;
 use ehsim_energy::{EnergyMeter, VoltageThresholds};
 use ehsim_mem::{AccessSize, FunctionalMem, NvmEnergy, NvmPort, NvmTiming, Pj, Ps};
+use ehsim_obs::ObserverBox;
 
 /// Everything a cache design needs from the machine to serve one
 /// operation: the clock, the NVM (timing, energy, port, and persistent
@@ -35,6 +36,10 @@ pub struct MemCtx<'a> {
     pub cap_voltage: f64,
     /// Capacitor energy above `Vmin` at `now`, in pJ (read-only).
     pub cap_energy_pj: Pj,
+    /// Event sink (observation only — never influences behaviour).
+    /// Instrumented designs guard emission with
+    /// [`ObserverBox::enabled`] so the default no-op costs nothing.
+    pub obs: &'a mut ObserverBox,
 }
 
 impl MemCtx<'_> {
@@ -194,6 +199,7 @@ mod tests {
         let mut nvm = FunctionalMem::new(4096);
         let mut meter = EnergyMeter::new();
         let mut stats = CacheStats::new();
+        let mut obs = ObserverBox::Noop;
         {
             let mut ctx = MemCtx {
                 now: 0,
@@ -205,6 +211,7 @@ mod tests {
                 stats: &mut stats,
                 cap_voltage: 3.3,
                 cap_energy_pj: 1e6,
+                obs: &mut obs,
             };
             f(&mut ctx);
         }

@@ -151,6 +151,7 @@ mod tests {
         meter: EnergyMeter,
         stats: CacheStats,
         now: Ps,
+        obs: ehsim_obs::ObserverBox,
     }
 
     impl Harness {
@@ -163,6 +164,7 @@ mod tests {
                 meter: EnergyMeter::new(),
                 stats: CacheStats::new(),
                 now: 0,
+                obs: ehsim_obs::ObserverBox::Noop,
             }
         }
 
@@ -177,6 +179,7 @@ mod tests {
                 stats: &mut self.stats,
                 cap_voltage: 3.3,
                 cap_energy_pj: 1e6,
+                obs: &mut self.obs,
             }
         }
     }

@@ -139,6 +139,7 @@ mod tests {
         meter: EnergyMeter,
         stats: CacheStats,
         now: Ps,
+        obs: ehsim_obs::ObserverBox,
     }
 
     impl H {
@@ -151,6 +152,7 @@ mod tests {
                 meter: EnergyMeter::new(),
                 stats: CacheStats::new(),
                 now: 0,
+                obs: ehsim_obs::ObserverBox::Noop,
             }
         }
         fn ctx(&mut self) -> MemCtx<'_> {
@@ -164,6 +166,7 @@ mod tests {
                 stats: &mut self.stats,
                 cap_voltage: 3.3,
                 cap_energy_pj: 1e6,
+                obs: &mut self.obs,
             }
         }
     }

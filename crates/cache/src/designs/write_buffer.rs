@@ -265,6 +265,7 @@ mod tests {
         meter: EnergyMeter,
         stats: CacheStats,
         now: Ps,
+        obs: ehsim_obs::ObserverBox,
     }
 
     impl H {
@@ -277,6 +278,7 @@ mod tests {
                 meter: EnergyMeter::new(),
                 stats: CacheStats::new(),
                 now: 0,
+                obs: ehsim_obs::ObserverBox::Noop,
             }
         }
         fn ctx(&mut self) -> MemCtx<'_> {
@@ -290,6 +292,7 @@ mod tests {
                 stats: &mut self.stats,
                 cap_voltage: 3.3,
                 cap_energy_pj: 1e6,
+                obs: &mut self.obs,
             }
         }
     }

@@ -30,6 +30,9 @@ pub enum Command {
     Compare(RunOptions),
     /// List available workloads, designs and traces.
     List,
+    /// Structurally validate a Chrome trace JSON written by
+    /// `--trace-out`.
+    ValidateTrace(String),
     /// Print usage.
     Help,
 }
@@ -63,6 +66,10 @@ pub struct RunOptions {
     pub capacitor_uf: f64,
     /// Verify crash consistency at every checkpoint.
     pub verify: bool,
+    /// Write a Chrome `trace_event` JSON timeline here (`run` only).
+    pub trace_out: Option<String>,
+    /// Write per-power-interval metrics TSV here (`run` only).
+    pub metrics_out: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -81,6 +88,8 @@ impl Default for RunOptions {
             cache_policy: ReplacementPolicy::Lru,
             capacitor_uf: 1.0,
             verify: false,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -92,6 +101,7 @@ ehsim-cli — WL-Cache energy-harvesting simulator
 USAGE:
   ehsim-cli run     --workload <name> [--design <d>] [--trace <t>] [options]
   ehsim-cli compare --workload <name> [--trace <t>] [options]
+  ehsim-cli validate-trace <path>
   ehsim-cli list
   ehsim-cli help
 
@@ -109,6 +119,9 @@ OPTIONS:
   --cache-policy <p>    lru | fifo               (default: lru)
   --capacitor-uf <f>    capacitor size in uF     (default: 1.0)
   --verify              oracle-check every checkpoint
+  --trace-out <path>    write a Chrome trace_event JSON timeline
+                        (open in chrome://tracing or ui.perfetto.dev)
+  --metrics-out <path>  write per-power-interval metrics as TSV
 ";
 
 /// Parses a command line (without the binary name).
@@ -124,6 +137,10 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match cmd.as_str() {
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "validate-trace" => match args.get(1) {
+            Some(path) => Ok(Command::ValidateTrace(path.clone())),
+            None => Err("validate-trace needs a file path".into()),
+        },
         "run" | "compare" => {
             let mut opt = RunOptions::default();
             let mut it = args[1..].iter();
@@ -190,6 +207,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                             .map_err(|e| format!("--capacitor-uf: {e}"))?
                     }
                     "--verify" => opt.verify = true,
+                    "--trace-out" => opt.trace_out = Some(value("--trace-out")?),
+                    "--metrics-out" => opt.metrics_out = Some(value("--metrics-out")?),
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
@@ -317,12 +336,14 @@ pub fn render_report(r: &Report) -> String {
     if let Some(wl) = &r.wl {
         let _ = writeln!(
             s,
-            "WL            maxline {}..{}, {} reconfigs, {} stalls ({:.3} % stall time)",
+            "WL            maxline {}..{}, {} reconfigs, {} stalls \
+             ({:.3} % of total time, {:.3} % of on-time)",
             wl.maxline_min,
             wl.maxline_max,
             wl.reconfigurations,
             wl.stalls,
-            wl.stall_fraction * 100.0
+            wl.stall_fraction * 100.0,
+            wl.stall_fraction_on * 100.0
         );
     }
     s
@@ -345,13 +366,38 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             s.push_str("traces:\n  none rf1 rf2 rf3 solar thermal\n");
             Ok(s)
         }
+        Command::ValidateTrace(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let check = ehsim_obs::validate_chrome_trace(&text)
+                .map_err(|e| format!("{path}: invalid trace: {e}"))?;
+            Ok(format!(
+                "{path}: valid ({} events: {} spans, {} slices, {} instants, {} counter samples)\n",
+                check.events, check.spans, check.complete, check.instants, check.counters
+            ))
+        }
         Command::Run(opt) => {
             let cfg = config_of(opt)?;
             let w = workload_of(&opt.workload, opt.scale)?;
-            let r = Simulator::new(cfg)
-                .run(w.as_ref())
-                .map_err(|e| e.to_string())?;
-            Ok(render_report(&r))
+            let sim = Simulator::new(cfg);
+            let observe = opt.trace_out.is_some() || opt.metrics_out.is_some();
+            if !observe {
+                let r = sim.run(w.as_ref()).map_err(|e| e.to_string())?;
+                return Ok(render_report(&r));
+            }
+            let (r, trace) = sim.run_traced(w.as_ref()).map_err(|e| e.to_string())?;
+            let mut s = render_report(&r);
+            if let Some(path) = &opt.trace_out {
+                let name = format!("{} / {} / {}", r.workload, r.design, r.trace);
+                std::fs::write(path, trace.chrome_trace(&name))
+                    .map_err(|e| format!("--trace-out {path}: {e}"))?;
+                let _ = writeln!(s, "trace         {path} ({} events)", trace.events.len());
+            }
+            if let Some(path) = &opt.metrics_out {
+                std::fs::write(path, trace.interval_metrics_tsv())
+                    .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+                let _ = writeln!(s, "metrics       {path}");
+            }
+            Ok(s)
         }
         Command::Compare(opt) => {
             let w = workload_of(&opt.workload, opt.scale)?;
@@ -463,6 +509,46 @@ mod tests {
         let out = execute(&cmd).unwrap();
         assert!(out.contains("checksum"), "{out}");
         assert!(out.contains("WL"), "{out}");
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cmd = parse(&argv(
+            "run --workload sha --trace-out /tmp/t.json --metrics-out /tmp/m.tsv",
+        ))
+        .unwrap();
+        let Command::Run(opt) = cmd else {
+            panic!("expected run");
+        };
+        assert_eq!(opt.trace_out.as_deref(), Some("/tmp/t.json"));
+        assert_eq!(opt.metrics_out.as_deref(), Some("/tmp/m.tsv"));
+        assert!(parse(&argv("run --trace-out")).is_err());
+    }
+
+    #[test]
+    fn run_with_trace_out_writes_valid_chrome_trace() {
+        let dir = std::env::temp_dir();
+        let trace_path = dir.join("ehsim_cli_test_trace.json");
+        let metrics_path = dir.join("ehsim_cli_test_metrics.tsv");
+        let cmd = parse(&argv(&format!(
+            "run --workload sha --scale small --trace rf1 --trace-out {} --metrics-out {}",
+            trace_path.display(),
+            metrics_path.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("trace"), "{out}");
+        let json = std::fs::read_to_string(&trace_path).unwrap();
+        let check = ehsim_obs::validate_chrome_trace(&json).unwrap();
+        assert!(check.events > 0);
+        let tsv = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(tsv.starts_with("interval\t"), "{tsv}");
+        // The validate-trace subcommand accepts what run just wrote.
+        let out = execute(&Command::ValidateTrace(trace_path.display().to_string())).unwrap();
+        assert!(out.contains("valid ("), "{out}");
+        assert!(execute(&Command::ValidateTrace("/nonexistent.json".into())).is_err());
+        let _ = std::fs::remove_file(&trace_path);
+        let _ = std::fs::remove_file(&metrics_path);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use ehsim_cache::designs::WbCore;
 use ehsim_cache::{CacheDesign, CacheGeometry, CacheTech, MemCtx, ReplacementPolicy};
 use ehsim_energy::{EnergyCategory, VoltageThresholds};
 use ehsim_mem::{AccessSize, NvmEnergy, Pj, Ps};
+use ehsim_obs::Event;
 
 /// Dynamic access energy of a DirtyQueue operation (push / pop / state
 /// change), from the CACTI-lite estimate of §6.2 (≤ 0.8 pJ).
@@ -186,6 +187,20 @@ impl WlCache {
         (array.is_dirty(sw) && array.base_addr(sw) == base).then(|| array.last_use(sw))
     }
 
+    /// Polls completed write-back ACKs out of the DirtyQueue. With an
+    /// observer attached each removal is reported at its actual ACK
+    /// time; the disabled path is the original `pop_acked` early-out.
+    fn poll_acks(&mut self, ctx: &mut MemCtx<'_>) {
+        if ctx.obs.enabled() {
+            let now = ctx.now;
+            let obs = &mut *ctx.obs;
+            self.dq
+                .drain_acked(now, |base, ack_at| obs.emit(ack_at, Event::DqAck { base }));
+        } else {
+            self.dq.pop_acked(ctx.now);
+        }
+    }
+
     /// Steps 1–2 of the DirtyQueue replacement protocol (§5.3): select a
     /// dirty line, mark it clean *first*, then launch the asynchronous
     /// write-back; the entry is popped later, at ACK (steps 3–4).
@@ -199,6 +214,9 @@ impl WlCache {
             .dq
             .select_for_cleaning(self.dq_policy, |base| Self::stamp_of(core, base));
         self.wl_stats.stale_dropped += dropped as u64;
+        if dropped > 0 && ctx.obs.enabled() {
+            ctx.obs.emit(ctx.now, Event::DqStaleDrop { dropped });
+        }
         let Some(base) = selected else {
             return false;
         };
@@ -218,6 +236,10 @@ impl WlCache {
         self.dq.mark_cleaning(base, ack_at);
         self.wl_stats.cleanings += 1;
         self.cleanings_this_interval += 1;
+        if ctx.obs.enabled() {
+            ctx.obs
+                .emit(ctx.now, Event::WritebackIssued { base, ack_at });
+        }
         true
     }
 
@@ -225,7 +247,7 @@ impl WlCache {
     /// store (or dynamically raising maxline) as needed.
     fn reserve_dq_slot(&mut self, ctx: &mut MemCtx<'_>) {
         loop {
-            self.dq.pop_acked(ctx.now);
+            self.poll_acks(ctx);
             let maxline = self.controller.thresholds().maxline();
             // DirtyQueue occupancy (including entries whose write-back
             // is still in flight — their slot frees only at the ACK,
@@ -244,11 +266,18 @@ impl WlCache {
             let headroom_ok = ctx.cap_voltage > next.v_backup + DYN_RAISE_HEADROOM_V;
             if self.controller.try_dynamic_raise(headroom_ok).is_some() {
                 self.wl_stats.dyn_raises += 1;
+                if ctx.obs.enabled() {
+                    let maxline = self.controller.thresholds().maxline();
+                    ctx.obs.emit(ctx.now, Event::DynRaise { maxline });
+                }
                 continue;
             }
             match self.dq.next_ack() {
                 Some(ack) if ack > ctx.now => {
                     // Stall until the in-flight cleaning ACKs.
+                    if ctx.obs.enabled() {
+                        ctx.obs.emit(ctx.now, Event::DqStall { until: ack });
+                    }
                     self.wl_stats.stalls += 1;
                     self.wl_stats.stall_ps += ack - ctx.now;
                     ctx.stats.stall_ps += ack - ctx.now;
@@ -285,13 +314,13 @@ impl CacheDesign for WlCache {
     }
 
     fn load(&mut self, ctx: &mut MemCtx<'_>, addr: u32, size: AccessSize) -> (Ps, u64) {
-        self.dq.pop_acked(ctx.now);
+        self.poll_acks(ctx);
         let (_, value, _) = self.core.load(ctx, addr, size);
         (ctx.now, value)
     }
 
     fn store(&mut self, ctx: &mut MemCtx<'_>, addr: u32, size: AccessSize, value: u64) -> Ps {
-        self.dq.pop_acked(ctx.now);
+        self.poll_acks(ctx);
         let (sw, was_dirty, _) = self.core.store_resident(ctx, addr, size, value);
         if !was_dirty {
             // Clean → dirty transition: the only event that touches the
@@ -301,6 +330,9 @@ impl CacheDesign for WlCache {
             self.dq.push(base);
             ctx.meter.add(EnergyCategory::CacheWrite, DQ_ACCESS_PJ);
             self.core.array_mut().set_dirty(sw, true);
+            if ctx.obs.enabled() {
+                ctx.obs.emit(ctx.now, Event::DqEnqueue { base });
+            }
 
             // Waterline policy (§5.2): start cleaning asynchronously.
             let waterline = self.controller.thresholds().waterline();
@@ -319,7 +351,7 @@ impl CacheDesign for WlCache {
         // NVM data path. Entries whose write-back completed (or whose
         // line went stale) are skipped; an in-flight write-back may be
         // duplicated, which is harmless.
-        self.dq.pop_acked(ctx.now);
+        self.poll_acks(ctx);
         let bases: Vec<u32> = self.dq.iter().map(|e| e.base).collect();
         let mut flushed = 0u64;
         for base in bases {
@@ -357,7 +389,18 @@ impl CacheDesign for WlCache {
     fn reboot(&mut self, ctx: &mut MemCtx<'_>, on_time_ps: Ps) -> Ps {
         // Boot-time adaptive reconfiguration (§4) from the measured
         // power-on time; Vbackup/Von follow via `thresholds()`.
+        let before = self.controller.thresholds();
         self.controller.on_interval_end(on_time_ps);
+        let after = self.controller.thresholds();
+        if ctx.obs.enabled() && after != before {
+            ctx.obs.emit(
+                ctx.now,
+                Event::Reconfigure {
+                    maxline: after.maxline(),
+                    waterline: after.waterline(),
+                },
+            );
+        }
         // NVFF restore of thresholds + timers.
         ctx.meter.add(EnergyCategory::CacheRead, NVFF_STATE_PJ);
         ctx.now + NVFF_STATE_PS
@@ -389,6 +432,7 @@ mod tests {
         stats: CacheStats,
         now: Ps,
         voltage: f64,
+        obs: ehsim_obs::ObserverBox,
     }
 
     impl H {
@@ -402,6 +446,7 @@ mod tests {
                 stats: CacheStats::new(),
                 now: 0,
                 voltage: 3.3,
+                obs: ehsim_obs::ObserverBox::Noop,
             }
         }
         fn ctx(&mut self) -> MemCtx<'_> {
@@ -415,6 +460,7 @@ mod tests {
                 stats: &mut self.stats,
                 cap_voltage: self.voltage,
                 cap_energy_pj: 1e6,
+                obs: &mut self.obs,
             }
         }
     }

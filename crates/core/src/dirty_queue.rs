@@ -129,6 +129,14 @@ impl DirtyQueue {
     /// Removes every `Cleaning` entry whose ACK time has passed,
     /// returning how many slots were freed (step 4 of §5.3).
     pub fn pop_acked(&mut self, now: Ps) -> usize {
+        self.drain_acked(now, |_, _| {})
+    }
+
+    /// [`DirtyQueue::pop_acked`] with a visitor: `f(base, ack_at)` is
+    /// called for each removed entry, letting the observability layer
+    /// report ACKs at their actual completion time without a second
+    /// scan. Removal behaviour is identical to `pop_acked`.
+    pub fn drain_acked(&mut self, now: Ps, mut f: impl FnMut(u32, Ps)) -> usize {
         // No outstanding ACK can have arrived yet: the scan below would
         // remove nothing, so skip it (this is the common case — the
         // cache polls on every access).
@@ -136,8 +144,15 @@ impl DirtyQueue {
             return 0;
         }
         let before = self.entries.len();
-        self.entries
-            .retain(|e| !matches!(e.state, DqState::Cleaning { ack_at } if ack_at <= now));
+        self.entries.retain(|e| {
+            if let DqState::Cleaning { ack_at } = e.state {
+                if ack_at <= now {
+                    f(e.base, ack_at);
+                    return false;
+                }
+            }
+            true
+        });
         self.min_ack = self.scan_next_ack();
         before - self.entries.len()
     }
@@ -310,6 +325,25 @@ mod tests {
         assert_eq!(q.pop_acked(5_000), 1);
         assert_eq!(q.len(), 1);
         assert_eq!(q.next_ack(), None);
+    }
+
+    #[test]
+    fn drain_acked_visits_removed_entries() {
+        let mut q = DirtyQueue::new(8);
+        q.push(0x100);
+        q.push(0x200);
+        q.push(0x300);
+        q.mark_cleaning(0x100, 5_000);
+        q.mark_cleaning(0x300, 2_000);
+        let mut seen = Vec::new();
+        let freed = q.drain_acked(6_000, |base, ack_at| seen.push((base, ack_at)));
+        assert_eq!(freed, 2);
+        assert_eq!(seen, vec![(0x100, 5_000), (0x300, 2_000)]);
+        assert_eq!(q.len(), 1);
+        // The early-out path must not call the visitor.
+        let mut called = false;
+        assert_eq!(q.drain_acked(10_000, |_, _| called = true), 0);
+        assert!(!called);
     }
 
     #[test]

@@ -46,6 +46,7 @@ struct Harness {
     meter: EnergyMeter,
     stats: CacheStats,
     now: Ps,
+    obs: ehsim_obs::ObserverBox,
 }
 
 impl Harness {
@@ -59,6 +60,7 @@ impl Harness {
             meter: EnergyMeter::new(),
             stats: CacheStats::new(),
             now: 0,
+            obs: ehsim_obs::ObserverBox::Noop,
         }
     }
 
@@ -73,6 +75,7 @@ impl Harness {
             stats: &mut self.stats,
             cap_voltage: 3.3,
             cap_energy_pj: 1e9,
+            obs: &mut self.obs,
         }
     }
 }

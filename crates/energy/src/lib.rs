@@ -45,6 +45,6 @@ mod trace_io;
 pub use capacitor::Capacitor;
 pub use charging::ChargingModel;
 pub use meter::{EnergyCategory, EnergyMeter};
-pub use thresholds::VoltageThresholds;
+pub use thresholds::{Rail, VoltageThresholds};
 pub use trace::{PowerTrace, TraceCursor, TraceKind};
 pub use trace_io::{format_trace, load_trace, parse_trace, save_trace, TraceParseError};

@@ -1,5 +1,31 @@
 //! Per-design voltage operating points (Table 2 of the paper).
 
+/// One of the named voltage rails in [`VoltageThresholds`].
+///
+/// Used by the observability layer to label capacitor crossings of the
+/// operating points that drive the power-failure protocol. `v_max` is
+/// not listed: the capacitor clamps at it, so it is never *crossed*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rail {
+    /// Boot/restore voltage `v_on`.
+    Von,
+    /// JIT-checkpoint trigger voltage `v_backup`.
+    Vbackup,
+    /// Absolute minimum operating voltage `v_min`.
+    Vmin,
+}
+
+impl Rail {
+    /// Short label for trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rail::Von => "Von",
+            Rail::Vbackup => "Vbackup",
+            Rail::Vmin => "Vmin",
+        }
+    }
+}
+
 /// Voltage thresholds that govern the power-failure protocol.
 ///
 /// - `v_backup`: when the supply drops below this, the system JIT
@@ -84,6 +110,30 @@ impl VoltageThresholds {
     pub fn is_valid(&self) -> bool {
         self.v_min <= self.v_backup && self.v_backup < self.v_on && self.v_on <= self.v_max
     }
+
+    /// Rail crossings of a voltage step from `v0` to `v1`.
+    ///
+    /// A rail at voltage `t` is crossed *rising* when `v0 < t && v1 >= t`
+    /// and *falling* when `v0 >= t && v1 < t` (so sitting exactly on a
+    /// rail counts as being at-or-above it). Returns one slot per rail in
+    /// falling voltage order (`Von`, `Vbackup`, `Vmin`); `None` where the
+    /// step did not cross that rail. Pure — observation only.
+    pub fn crossings(&self, v0: f64, v1: f64) -> [Option<(Rail, bool)>; 3] {
+        let cross = |rail: Rail, t: f64| -> Option<(Rail, bool)> {
+            if v0 < t && v1 >= t {
+                Some((rail, true))
+            } else if v0 >= t && v1 < t {
+                Some((rail, false))
+            } else {
+                None
+            }
+        };
+        [
+            cross(Rail::Von, self.v_on),
+            cross(Rail::Vbackup, self.v_backup),
+            cross(Rail::Vmin, self.v_min),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +182,27 @@ mod tests {
     #[should_panic(expected = "maxline")]
     fn wl_rejects_maxline_above_capacity() {
         let _ = VoltageThresholds::wl(9, 8);
+    }
+
+    #[test]
+    fn crossings_rising_and_falling() {
+        let th = VoltageThresholds::nv(); // 2.8 / 2.9 / 3.3 / 3.5
+                                          // Full recharge from empty rises through all three rails.
+        let up = th.crossings(0.0, 3.3);
+        assert_eq!(up[0], Some((Rail::Von, true)));
+        assert_eq!(up[1], Some((Rail::Vbackup, true)));
+        assert_eq!(up[2], Some((Rail::Vmin, true)));
+        // A small drain through v_backup only crosses that rail.
+        let down = th.crossings(2.95, 2.85);
+        assert_eq!(down, [None, Some((Rail::Vbackup, false)), None]);
+        // No movement, no crossings.
+        assert_eq!(th.crossings(3.0, 3.0), [None, None, None]);
+        // Landing exactly on a rail counts as a rising cross…
+        assert_eq!(th.crossings(3.2, 3.3)[0], Some((Rail::Von, true)));
+        // …and leaving it downward as a falling one.
+        assert_eq!(
+            th.crossings(3.3, 3.2),
+            [Some((Rail::Von, false)), None, None]
+        );
     }
 }

@@ -1,0 +1,106 @@
+//! The event taxonomy.
+
+use ehsim_energy::Rail;
+use ehsim_mem::Ps;
+
+/// One observable simulator event, emitted at a picosecond timestamp.
+///
+/// Events describe the power-failure lifecycle (machine layer), the
+/// DirtyQueue cleaning protocol (WL-Cache layer) and capacitor rail
+/// crossings (energy layer). Every variant is `Copy` so recording is a
+/// 16-byte push with no allocation per event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// WL-Cache's configured thresholds at machine construction. Emitted
+    /// once, before the run, so exporters can seed the maxline counter
+    /// track; not counted as a reconfiguration.
+    InitialThresholds {
+        /// Configured stall threshold (dirty-line budget).
+        maxline: usize,
+        /// Configured cleaning trigger.
+        waterline: usize,
+    },
+    /// Execution (re)starts: first boot or completed restore.
+    PowerOn {
+        /// Power-on interval index, 0 for the initial boot.
+        interval: u64,
+    },
+    /// The capacitor dropped below `Vbackup`: the on-interval ends and
+    /// the JIT checkpoint protocol begins.
+    OutageBegin {
+        /// Length of the on-interval that just ended.
+        on_ps: Ps,
+        /// Capacitor voltage at the trigger.
+        voltage: f64,
+    },
+    /// JIT checkpoint starts.
+    CheckpointBegin {
+        /// Dirty lines held by the design when the checkpoint triggered.
+        dirty_lines: usize,
+    },
+    /// JIT checkpoint finished.
+    CheckpointEnd {
+        /// Cache lines actually flushed by this checkpoint.
+        flushed_lines: u64,
+    },
+    /// The supply is cut; volatile state is gone. Recharge begins.
+    PowerOff,
+    /// The capacitor reached `Von`; architectural restore begins.
+    RestoreBegin,
+    /// Restore finished; a `PowerOn` follows at the same timestamp.
+    RestoreEnd,
+    /// End of the run; closes the final on-interval.
+    RunEnd,
+    /// A store made a clean line dirty: the line entered the DirtyQueue.
+    DqEnqueue {
+        /// Line base address.
+        base: u32,
+    },
+    /// An async write-back completed; the line left the DirtyQueue.
+    /// Timestamped at the NVM ACK, which may trail the enqueue by the
+    /// full write-back latency.
+    DqAck {
+        /// Line base address.
+        base: u32,
+    },
+    /// A store hit `maxline` with the oldest cleaning still in flight:
+    /// the core stalls until that ACK.
+    DqStall {
+        /// Timestamp the stalling store resumes at.
+        until: Ps,
+    },
+    /// `select_for_cleaning` discarded queue entries whose lines were
+    /// re-dirtied or evicted since enqueue.
+    DqStaleDrop {
+        /// Number of entries dropped.
+        dropped: usize,
+    },
+    /// The cleaning protocol issued an async line write-back.
+    WritebackIssued {
+        /// Line base address.
+        base: u32,
+        /// Timestamp the NVM will ACK at (`ack_at − now` is the
+        /// write-back latency).
+        ack_at: Ps,
+    },
+    /// The adaptive controller moved `maxline`/`waterline` at reboot.
+    Reconfigure {
+        /// New stall threshold.
+        maxline: usize,
+        /// New cleaning trigger.
+        waterline: usize,
+    },
+    /// The §4 dynamic mechanism raised `maxline` mid-interval to absorb
+    /// a stall under surplus energy.
+    DynRaise {
+        /// New stall threshold.
+        maxline: usize,
+    },
+    /// The capacitor crossed a named voltage rail.
+    VoltageCross {
+        /// Which rail was crossed.
+        rail: Rail,
+        /// `true` for a rising (charging) crossing.
+        rising: bool,
+    },
+}

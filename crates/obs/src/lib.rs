@@ -1,0 +1,38 @@
+//! Observability layer for the energy-harvesting simulator.
+//!
+//! The simulator's [`Report`](https://docs.rs/) aggregates answer *how
+//! much* (outages, stalls, cleanings) but not *when*. This crate adds an
+//! event timeline with a strict contract:
+//!
+//! * **Observation only.** An [`Observer`] receives [`Event`]s; it can
+//!   never mutate simulation state, so a run with any observer attached
+//!   computes bit-identical results to a run without one. The pinned
+//!   figure goldens enforce this.
+//! * **Zero cost when disabled.** The default sink is
+//!   [`ObserverBox::Noop`]; every instrumentation site is guarded by
+//!   [`ObserverBox::enabled`], a single enum-discriminant test that the
+//!   optimizer folds into the surrounding code. The hot path takes no
+//!   virtual call and allocates nothing.
+//!
+//! A [`Recorder`] sink accumulates the timeline plus counters and
+//! log-scale [`Histogram`]s; [`RunTrace`] exports it as a Chrome
+//! `trace_event` JSON (viewable in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)) or a per-interval metrics TSV.
+//! [`validate_chrome_trace`] checks an emitted trace for monotonic
+//! timestamps and balanced begin/end pairs — used by CI.
+
+#![warn(missing_docs)]
+
+mod event;
+mod export;
+mod histogram;
+mod observer;
+mod recorder;
+
+pub use event::Event;
+pub use export::{validate_chrome_trace, TraceCheck};
+pub use histogram::Histogram;
+pub use observer::{NoopObserver, Observer, ObserverBox};
+pub use recorder::{ObsCounters, ObsHistograms, Recorder, RunTrace};
+
+pub use ehsim_energy::Rail;

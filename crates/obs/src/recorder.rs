@@ -1,0 +1,187 @@
+//! The recording sink: timeline + counters + histograms.
+
+use crate::event::Event;
+use crate::histogram::Histogram;
+use crate::observer::Observer;
+use ehsim_mem::Ps;
+
+/// Event counts accumulated by a [`Recorder`].
+///
+/// These reconcile exactly with the run's aggregate `Report`: e.g.
+/// `outages` equals the report's outage count and `reconfigurations +
+/// dyn_raises` equals the WL report's `reconfigurations` (the adaptive
+/// controller counts a dynamic raise as a reconfiguration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObsCounters {
+    /// `PowerOn` events (initial boot + one per completed restore).
+    pub power_ons: u64,
+    /// `OutageBegin` events.
+    pub outages: u64,
+    /// `CheckpointBegin` events.
+    pub checkpoints: u64,
+    /// `Reconfigure` events (reboot-time threshold moves).
+    pub reconfigurations: u64,
+    /// `DynRaise` events (§4 mid-interval raises).
+    pub dyn_raises: u64,
+    /// `DqEnqueue` events.
+    pub dq_enqueues: u64,
+    /// `DqAck` events.
+    pub dq_acks: u64,
+    /// `DqStall` events.
+    pub dq_stalls: u64,
+    /// `WritebackIssued` events.
+    pub writebacks_issued: u64,
+    /// Total entries dropped across `DqStaleDrop` events.
+    pub stale_drops: u64,
+    /// `VoltageCross` events.
+    pub voltage_crossings: u64,
+}
+
+/// The lightweight metric histograms kept by a [`Recorder`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsHistograms {
+    /// Length of each completed on-interval (ps), fed by `OutageBegin`.
+    pub outage_interval_ps: Histogram,
+    /// Lines flushed per JIT checkpoint, fed by `CheckpointEnd`.
+    pub dirty_at_checkpoint: Histogram,
+    /// Async write-back latency (ps), fed by `WritebackIssued`.
+    pub writeback_latency_ps: Histogram,
+}
+
+/// An [`Observer`] that records every event with its timestamp and
+/// maintains [`ObsCounters`] and [`ObsHistograms`] incrementally.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    events: Vec<(Ps, Event)>,
+    counters: ObsCounters,
+    histograms: ObsHistograms,
+}
+
+impl Observer for Recorder {
+    fn event(&mut self, at: Ps, ev: Event) {
+        match ev {
+            Event::PowerOn { .. } => self.counters.power_ons += 1,
+            Event::OutageBegin { on_ps, .. } => {
+                self.counters.outages += 1;
+                self.histograms.outage_interval_ps.record(on_ps);
+            }
+            Event::CheckpointBegin { .. } => self.counters.checkpoints += 1,
+            Event::CheckpointEnd { flushed_lines } => {
+                self.histograms.dirty_at_checkpoint.record(flushed_lines);
+            }
+            Event::Reconfigure { .. } => self.counters.reconfigurations += 1,
+            Event::DynRaise { .. } => self.counters.dyn_raises += 1,
+            Event::DqEnqueue { .. } => self.counters.dq_enqueues += 1,
+            Event::DqAck { .. } => self.counters.dq_acks += 1,
+            Event::DqStall { .. } => self.counters.dq_stalls += 1,
+            Event::DqStaleDrop { dropped } => self.counters.stale_drops += dropped as u64,
+            Event::WritebackIssued { ack_at, .. } => {
+                self.counters.writebacks_issued += 1;
+                self.histograms
+                    .writeback_latency_ps
+                    .record(ack_at.saturating_sub(at));
+            }
+            Event::VoltageCross { .. } => self.counters.voltage_crossings += 1,
+            Event::InitialThresholds { .. }
+            | Event::PowerOff
+            | Event::RestoreBegin
+            | Event::RestoreEnd
+            | Event::RunEnd => {}
+        }
+        self.events.push((at, ev));
+    }
+}
+
+impl Recorder {
+    /// Recorded events so far, in emission order.
+    pub fn events(&self) -> &[(Ps, Event)] {
+        &self.events
+    }
+
+    /// Counters so far.
+    pub fn counters(&self) -> &ObsCounters {
+        &self.counters
+    }
+
+    /// Closes the timeline at `end` and yields the finished trace.
+    pub fn finish(mut self, end: Ps) -> RunTrace {
+        self.events.push((end, Event::RunEnd));
+        RunTrace {
+            events: self.events,
+            counters: self.counters,
+            histograms: self.histograms,
+        }
+    }
+}
+
+/// A completed run's timeline, ready for export.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// `(timestamp, event)` pairs in emission order, terminated by
+    /// [`Event::RunEnd`].
+    pub events: Vec<(Ps, Event)>,
+    /// Event counts.
+    pub counters: ObsCounters,
+    /// Metric histograms.
+    pub histograms: ObsHistograms,
+}
+
+impl RunTrace {
+    /// Renders the timeline as Chrome `trace_event` JSON. `name` labels
+    /// the process in the viewer (typically `workload/design`).
+    pub fn chrome_trace(&self, name: &str) -> String {
+        crate::export::chrome_trace(self, name)
+    }
+
+    /// Renders per-power-on-interval metrics as a TSV table.
+    pub fn interval_metrics_tsv(&self) -> String {
+        crate::export::interval_metrics_tsv(self)
+    }
+
+    /// Number of recorded events matching `pred` (test convenience).
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> u64 {
+        self.events.iter().filter(|(_, e)| pred(e)).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_track_events() {
+        let mut r = Recorder::default();
+        r.event(0, Event::PowerOn { interval: 0 });
+        r.event(
+            100,
+            Event::OutageBegin {
+                on_ps: 100,
+                voltage: 2.95,
+            },
+        );
+        r.event(100, Event::CheckpointBegin { dirty_lines: 3 });
+        r.event(150, Event::CheckpointEnd { flushed_lines: 3 });
+        r.event(150, Event::PowerOff);
+        r.event(
+            40,
+            Event::WritebackIssued {
+                base: 64,
+                ack_at: 90,
+            },
+        );
+        r.event(200, Event::RestoreBegin);
+        r.event(210, Event::RestoreEnd);
+        r.event(210, Event::PowerOn { interval: 1 });
+        let t = r.finish(300);
+        assert_eq!(t.counters.power_ons, 2);
+        assert_eq!(t.counters.outages, 1);
+        assert_eq!(t.counters.checkpoints, 1);
+        assert_eq!(t.counters.writebacks_issued, 1);
+        assert_eq!(t.histograms.outage_interval_ps.count(), 1);
+        assert_eq!(t.histograms.outage_interval_ps.sum(), 100);
+        assert_eq!(t.histograms.dirty_at_checkpoint.sum(), 3);
+        assert_eq!(t.histograms.writeback_latency_ps.sum(), 50);
+        assert_eq!(t.events.last(), Some(&(300, Event::RunEnd)));
+        assert_eq!(t.count(|e| matches!(e, Event::PowerOn { .. })), 2);
+    }
+}

@@ -52,6 +52,7 @@ mod report;
 mod simulator;
 
 pub use config::{DesignKind, SimConfig};
+pub use ehsim_obs::{Event, ObserverBox, Recorder, RunTrace};
 pub use error::SimError;
 pub use machine::Machine;
 pub use params::CpuParams;

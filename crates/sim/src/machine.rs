@@ -5,8 +5,12 @@ use crate::design_box::DesignBox;
 use crate::error::SimError;
 use crate::params::{COMPUTE_CHUNK_CYCLES, MAX_RECHARGE_PS};
 use ehsim_cache::{CacheDesign, CacheStats, MemCtx};
-use ehsim_energy::{Capacitor, ChargingModel, EnergyCategory, EnergyMeter, TraceCursor, TraceKind};
+use ehsim_energy::{
+    Capacitor, ChargingModel, EnergyCategory, EnergyMeter, TraceCursor, TraceKind,
+    VoltageThresholds,
+};
 use ehsim_mem::{AccessSize, Bus, FunctionalMem, NvmPort, Pj, Ps};
+use ehsim_obs::{Event, ObserverBox};
 
 /// Panic payload used to abort a run from inside the [`Bus`] methods
 /// (which cannot return `Result`); `Simulator::run` catches it and
@@ -45,6 +49,11 @@ pub struct Machine {
     /// tracking (one cache line).
     verify_line_bytes: u32,
     max_outages: u64,
+    /// Event sink. [`ObserverBox::Noop`] by default; every emission site
+    /// is guarded by [`ObserverBox::enabled`] and observers can never
+    /// mutate simulation state, so results are bit-identical with or
+    /// without one attached.
+    obs: ObserverBox,
 
     booted: bool,
     now: Ps,
@@ -67,6 +76,12 @@ impl Machine {
     /// Builds a machine for `cfg` with an NVM of at least `mem_bytes`
     /// bytes (rounded up to a whole number of cache lines).
     pub fn new(cfg: &SimConfig, mem_bytes: u32) -> Self {
+        Self::with_observer(cfg, mem_bytes, ObserverBox::Noop)
+    }
+
+    /// [`Machine::new`] with an event sink attached. The observer only
+    /// watches — simulated results are identical to an unobserved run.
+    pub fn with_observer(cfg: &SimConfig, mem_bytes: u32, obs: ObserverBox) -> Self {
         let design = DesignBox::from_config(cfg);
         let line = cfg.geometry.line_bytes();
         let size = mem_bytes.max(line).div_ceil(line) * line;
@@ -97,6 +112,19 @@ impl Machine {
             oracle
         });
         let instr_hook = design.has_instruction_hook();
+        let mut obs = obs;
+        if obs.enabled() {
+            if let Some(wl) = design.as_wl() {
+                let t = wl.thresholds_config();
+                obs.emit(
+                    0,
+                    Event::InitialThresholds {
+                        maxline: t.maxline(),
+                        waterline: t.waterline(),
+                    },
+                );
+            }
+        }
         Self {
             design,
             port: NvmPort::new(),
@@ -114,6 +142,7 @@ impl Machine {
             verify_oracle,
             verify_line_bytes: line,
             max_outages: cfg.max_outages,
+            obs,
             booted: false,
             now: 0,
             boot_time: 0,
@@ -174,6 +203,17 @@ impl Machine {
         &self.design
     }
 
+    /// The attached event sink.
+    pub fn observer(&self) -> &ObserverBox {
+        &self.obs
+    }
+
+    /// Detaches the event sink (replacing it with the no-op), e.g. to
+    /// finish a recording into a `RunTrace` after the workload ran.
+    pub fn take_observer(&mut self) -> ObserverBox {
+        std::mem::take(&mut self.obs)
+    }
+
     /// The error that aborted the run, if any.
     pub(crate) fn take_error(&mut self) -> Option<SimError> {
         self.error.take()
@@ -213,6 +253,7 @@ impl Machine {
             );
         }
         if self.failures_enabled {
+            let v_before = self.cap.voltage();
             if dt > 0 {
                 let harvested = self.cursor.advance(dt);
                 let eta = self.charging.efficiency(self.cap.voltage());
@@ -227,22 +268,37 @@ impl Machine {
                 self.drained_pj = total;
                 self.drained_version = self.meter.version();
             }
+            if self.obs.enabled() {
+                let th = self.design.thresholds();
+                Self::emit_crossings(&mut self.obs, &th, self.now, v_before, self.cap.voltage());
+            }
         }
         self.last_sync = self.now;
+    }
+
+    /// Reports every named-rail crossing of the step `v0 → v1`.
+    fn emit_crossings(obs: &mut ObserverBox, th: &VoltageThresholds, at: Ps, v0: f64, v1: f64) {
+        for (rail, rising) in th.crossings(v0, v1).into_iter().flatten() {
+            obs.emit(at, Event::VoltageCross { rail, rising });
+        }
     }
 
     /// First power-up: harvest from an empty capacitor to `Von` before
     /// any work happens. This initial charge is part of execution time
     /// (the paper's Fig 10(b) sweeps hinge on it) but is not an outage.
     fn boot_if_needed(&mut self) {
-        if self.booted || !self.failures_enabled {
-            self.booted = true;
+        if self.booted {
             return;
         }
         self.booted = true;
-        self.recharge_to_von();
-        self.boot_time = self.now;
-        self.last_sync = self.now;
+        if self.failures_enabled {
+            self.recharge_to_von();
+            self.boot_time = self.now;
+            self.last_sync = self.now;
+        }
+        if self.obs.enabled() {
+            self.obs.emit(self.now, Event::PowerOn { interval: 0 });
+        }
     }
 
     /// Energy settlement plus the power-failure check.
@@ -268,6 +324,19 @@ impl Machine {
         }
         let fail_at = self.now;
         let on_time = self.now - self.boot_time;
+        if self.obs.enabled() {
+            self.obs.emit(
+                self.now,
+                Event::OutageBegin {
+                    on_ps: on_time,
+                    voltage: self.cap.voltage(),
+                },
+            );
+            let dirty_lines = self.design.dirty_lines();
+            self.obs
+                .emit(self.now, Event::CheckpointBegin { dirty_lines });
+        }
+        let ckpt_lines_before = self.stats.checkpoint_lines;
 
         // JIT checkpoint: dirty lines (design-specific) + registers.
         let done = self.with_ctx(|design, ctx| design.checkpoint(ctx));
@@ -276,6 +345,11 @@ impl Machine {
             .add(EnergyCategory::Compute, self.cpu.reg_checkpoint_pj);
         self.sync_energy();
         self.checkpoint_time_ps += self.now - fail_at;
+        if self.obs.enabled() {
+            let flushed_lines = self.stats.checkpoint_lines - ckpt_lines_before;
+            self.obs
+                .emit(self.now, Event::CheckpointEnd { flushed_lines });
+        }
 
         // The reserve below Vbackup must have covered the checkpoint.
         let v_min = self.design.thresholds().v_min;
@@ -293,10 +367,16 @@ impl Machine {
         // Power off: volatile state is lost.
         self.design.power_off();
         self.port.reset();
+        if self.obs.enabled() {
+            self.obs.emit(self.now, Event::PowerOff);
+        }
 
         // Recharge to the design's Von.
         self.recharge_to_von();
         self.last_sync = self.now;
+        if self.obs.enabled() {
+            self.obs.emit(self.now, Event::RestoreBegin);
+        }
 
         // Reboot: restore registers, warm/cold cache, adapt thresholds.
         let boot_start = self.now;
@@ -306,6 +386,11 @@ impl Machine {
             .add(EnergyCategory::Compute, self.cpu.reg_restore_pj);
         self.sync_energy();
         self.restore_time_ps += self.now - boot_start;
+        if self.obs.enabled() {
+            self.obs.emit(self.now, Event::RestoreEnd);
+            let interval = self.outages + 1;
+            self.obs.emit(self.now, Event::PowerOn { interval });
+        }
 
         self.outages += 1;
         self.boot_time = self.now;
@@ -389,6 +474,7 @@ impl Machine {
     /// stepping the voltage so the front end's falling efficiency near
     /// `Vmax` is honoured; the elapsed time is counted as off-time.
     fn recharge_to_von(&mut self) {
+        let v_start = self.cap.voltage();
         let v_on = self.design.thresholds().v_on.min(self.cap.v_max());
         let mut budget = MAX_RECHARGE_PS;
         while self.cap.voltage() < v_on - 1e-12 {
@@ -413,6 +499,12 @@ impl Machine {
                 }
             }
         }
+        if self.obs.enabled() {
+            // One rising crossing per rail for the whole recharge; the
+            // step-by-step detail adds nothing to the timeline.
+            let th = self.design.thresholds();
+            Self::emit_crossings(&mut self.obs, &th, self.now, v_start, self.cap.voltage());
+        }
     }
 
     /// Runs `f` with a fresh [`MemCtx`] at the current time; returns
@@ -430,6 +522,7 @@ impl Machine {
             stats: &mut self.stats,
             cap_voltage,
             cap_energy_pj,
+            obs: &mut self.obs,
         };
         f(&mut self.design, &mut ctx)
     }

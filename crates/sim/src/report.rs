@@ -27,8 +27,17 @@ pub struct WlReport {
     pub stalls: u64,
     /// Total stall time.
     pub stall_ps: Ps,
-    /// Stall time as a fraction of total execution time (paper: < 1 %).
+    /// Stall time as a fraction of **total** execution time, including
+    /// powered-off recharge time. This is the denominator behind the
+    /// paper's §6.6 "less than 1 % of the total execution time" claim,
+    /// so figures keep quoting it.
     pub stall_fraction: f64,
+    /// Stall time as a fraction of **powered-on** time only (total −
+    /// off). The stricter measure of how often stores actually stall
+    /// while the core runs: off-time can dominate end-to-end time on
+    /// weak traces, deflating [`WlReport::stall_fraction`]. Always ≥
+    /// `stall_fraction`; equal when the run had no outages.
+    pub stall_fraction_on: f64,
     /// Opportunistic dynamic maxline raises (WL-Cache (dyn) only).
     pub dyn_raises: u64,
 }
@@ -75,6 +84,7 @@ impl Report {
         checksum: u64,
     ) -> Self {
         let total = machine.now();
+        let on_time = total - machine.off_time_ps();
         let wl = machine.design().as_wl().map(|wl| {
             let s = wl.wl_stats();
             let ctl = wl.controller();
@@ -93,6 +103,11 @@ impl Report {
                 } else {
                     0.0
                 },
+                stall_fraction_on: if on_time > 0 {
+                    s.stall_ps as f64 / on_time as f64
+                } else {
+                    0.0
+                },
                 dyn_raises: s.dyn_raises,
             }
         });
@@ -103,7 +118,7 @@ impl Report {
             checksum,
             instructions: machine.instructions(),
             total_time_ps: total,
-            on_time_ps: total - machine.off_time_ps(),
+            on_time_ps: on_time,
             off_time_ps: machine.off_time_ps(),
             checkpoint_time_ps: machine.checkpoint_time_ps(),
             restore_time_ps: machine.restore_time_ps(),
@@ -197,5 +212,86 @@ mod tests {
         assert_eq!(gmean([]), None);
         let g = gmean([2.0, 8.0]).unwrap();
         assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    /// Stresses the DirtyQueue hard enough on a real trace that stalls
+    /// and multiple outages both occur.
+    struct Churn;
+    impl Workload for Churn {
+        fn name(&self) -> &str {
+            "churn"
+        }
+        fn mem_bytes(&self) -> u32 {
+            64 * 1024
+        }
+        fn run(&self, bus: &mut dyn Bus) -> u64 {
+            // Cycle over 8 cache-resident lines: every store hits and
+            // dirties a distinct line far faster than NVM ACKs retire
+            // cleanings, so the DirtyQueue must fill and stall.
+            for round in 0..200_000u32 {
+                bus.store_u32((round % 8) * 64, round);
+            }
+            0
+        }
+    }
+
+    #[test]
+    fn stall_fraction_denominators() {
+        let cfg = SimConfig::wl_cache().with_trace(ehsim_energy::TraceKind::Rf1);
+        let r = Simulator::new(cfg).run(&Churn).unwrap();
+        let wl = r.wl.as_ref().unwrap();
+        assert!(r.outages > 0, "churn on rf1 must outage");
+        assert!(wl.stall_ps > 0, "line-stride stores must stall");
+        // Exact definitions of both denominators.
+        let total = wl.stall_ps as f64 / r.total_time_ps as f64;
+        let on = wl.stall_ps as f64 / r.on_time_ps as f64;
+        assert!((wl.stall_fraction - total).abs() < 1e-15);
+        assert!((wl.stall_fraction_on - on).abs() < 1e-15);
+        // With off-time in the run, the on-time variant is strictly
+        // larger — the total-based figure (the paper's §6.6 "< 1 % of
+        // total execution time") understates stall intensity while on.
+        assert!(r.off_time_ps > 0);
+        assert!(wl.stall_fraction_on > wl.stall_fraction);
+    }
+
+    #[test]
+    fn stall_fractions_equal_without_outages() {
+        let r = Simulator::new(SimConfig::wl_cache()).run(&Mini).unwrap();
+        let wl = r.wl.as_ref().unwrap();
+        assert_eq!(r.off_time_ps, 0);
+        assert_eq!(wl.stall_ps, 0);
+        assert_eq!(wl.stall_fraction, 0.0);
+        assert_eq!(wl.stall_fraction_on, 0.0);
+    }
+
+    #[test]
+    fn wl_interval_averages_with_zero_intervals() {
+        // A no-failure run never checkpoints: intervals == 0. The
+        // max(1) guard must yield well-defined zeros, not NaN.
+        let r = Simulator::new(SimConfig::wl_cache()).run(&Mini).unwrap();
+        assert_eq!(r.outages, 0);
+        let wl = r.wl.as_ref().unwrap();
+        assert_eq!(wl.avg_dirty_at_checkpoint, 0.0);
+        assert_eq!(wl.avg_cleanings_per_interval, 0.0);
+        assert!(wl.avg_dirty_at_checkpoint.is_finite());
+    }
+
+    #[test]
+    fn wl_interval_averages_with_multiple_intervals() {
+        let cfg = SimConfig::wl_cache().with_trace(ehsim_energy::TraceKind::Rf1);
+        let r = Simulator::new(cfg.clone()).run(&Churn).unwrap();
+        let wl = r.wl.as_ref().unwrap();
+        assert!(r.outages >= 2, "need several intervals, got {}", r.outages);
+        // Each completed interval ends in a JIT checkpoint, so the
+        // average is sum/intervals with intervals == outages; both
+        // sums are recoverable from the report within rounding.
+        let intervals = r.outages as f64;
+        let dirty_sum = wl.avg_dirty_at_checkpoint * intervals;
+        let cleaning_sum = wl.avg_cleanings_per_interval * intervals;
+        assert!((dirty_sum - dirty_sum.round()).abs() < 1e-6);
+        assert!((cleaning_sum - cleaning_sum.round()).abs() < 1e-6);
+        assert!(wl.avg_dirty_at_checkpoint >= 0.0);
+        // Checkpointed dirty lines are bounded by maxline (paper ~6).
+        assert!(wl.avg_dirty_at_checkpoint <= wl.maxline_max as f64);
     }
 }

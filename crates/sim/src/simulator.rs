@@ -4,6 +4,7 @@ use crate::machine::{Abort, Machine};
 use crate::report::Report;
 use crate::{SimConfig, SimError};
 use ehsim_mem::Workload;
+use ehsim_obs::{ObserverBox, RunTrace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Runs workloads on a configured energy-harvesting machine.
@@ -37,15 +38,51 @@ impl Simulator {
     /// [`SimError::ConsistencyViolation`] under
     /// [`SimConfig::verify`]), or if the workload itself panics.
     pub fn run(&self, workload: &dyn Workload) -> Result<Report, SimError> {
-        let mut machine = Machine::new(&self.cfg, workload.mem_bytes());
+        self.run_with(workload, ObserverBox::Noop)
+            .map(|(report, _)| report)
+    }
+
+    /// Runs `workload` with the recording observer attached and returns
+    /// the [`Report`] together with the full event [`RunTrace`].
+    ///
+    /// The trace records lifecycle events (outages, JIT checkpoints,
+    /// restores), DirtyQueue traffic, threshold reconfigurations and
+    /// capacitor rail crossings; export it with
+    /// [`RunTrace::chrome_trace`] or [`RunTrace::interval_metrics_tsv`].
+    /// Observation never perturbs the simulation: the `Report` is
+    /// identical to what [`Simulator::run`] returns.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Simulator::run`]; the partial trace is
+    /// discarded on error.
+    pub fn run_traced(&self, workload: &dyn Workload) -> Result<(Report, RunTrace), SimError> {
+        self.run_with(workload, ObserverBox::recording())
+            .map(|(report, mut machine)| {
+                let end = machine.now();
+                (report, machine.take_observer().into_trace(end))
+            })
+    }
+
+    /// Runs `workload` with a caller-supplied observer (e.g.
+    /// [`ObserverBox::Custom`]); the machine is returned for
+    /// observer retrieval via [`Machine::take_observer`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Simulator::run`].
+    pub fn run_with(
+        &self,
+        workload: &dyn Workload,
+        obs: ObserverBox,
+    ) -> Result<(Report, Machine), SimError> {
+        let mut machine = Machine::with_observer(&self.cfg, workload.mem_bytes(), obs);
         let outcome = catch_unwind(AssertUnwindSafe(|| workload.run(&mut machine)));
         match outcome {
-            Ok(checksum) => Ok(Report::from_machine(
-                &machine,
-                &self.cfg,
-                workload.name(),
-                checksum,
-            )),
+            Ok(checksum) => {
+                let report = Report::from_machine(&machine, &self.cfg, workload.name(), checksum);
+                Ok((report, machine))
+            }
             Err(payload) => {
                 if let Some(err) = machine.take_error() {
                     return Err(err);
@@ -128,6 +165,29 @@ mod tests {
             .run(&Boom)
             .unwrap_err();
         assert!(matches!(err, SimError::WorkloadPanic(ref m) if m.contains("kaboom")));
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_reconciles() {
+        let w = Stream { words: 65536 };
+        let cfg = SimConfig::wl_cache().with_trace(TraceKind::Rf1);
+        let plain = Simulator::new(cfg.clone()).run(&w).unwrap();
+        let (traced, trace) = Simulator::new(cfg).run_traced(&w).unwrap();
+        // The recording observer must not perturb the simulation at all.
+        assert_eq!(plain, traced);
+        // Event counts reconcile with the report's own counters.
+        assert!(traced.outages > 0, "rf1 must cause outages");
+        assert_eq!(trace.counters.outages, traced.outages);
+        assert_eq!(trace.counters.checkpoints, traced.outages);
+        let wl = traced.wl.as_ref().unwrap();
+        assert_eq!(
+            trace.counters.reconfigurations + trace.counters.dyn_raises,
+            wl.reconfigurations
+        );
+        assert_eq!(trace.counters.dyn_raises, wl.dyn_raises);
+        // One PowerOn per power-on interval: boot + one per outage.
+        assert_eq!(trace.counters.power_ons, traced.outages + 1);
+        assert_eq!(trace.histograms.dirty_at_checkpoint.count(), traced.outages);
     }
 
     #[test]

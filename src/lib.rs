@@ -32,6 +32,7 @@ pub use ehsim_energy;
 pub use ehsim_hwcost;
 pub use ehsim_isa;
 pub use ehsim_mem;
+pub use ehsim_obs;
 pub use ehsim_workloads;
 pub use wl_cache;
 
@@ -40,5 +41,6 @@ pub mod prelude {
     pub use ehsim::{Report, SimConfig, Simulator};
     pub use ehsim_energy::TraceKind;
     pub use ehsim_mem::{Bus, Workload};
+    pub use ehsim_obs::{ObserverBox, RunTrace};
     pub use ehsim_workloads::prelude::*;
 }
