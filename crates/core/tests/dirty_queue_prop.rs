@@ -1,0 +1,122 @@
+//! Property test promoting the `min_ack == scan_next_ack()`
+//! `debug_assert` inside [`DirtyQueue::next_ack`] into an invariant
+//! checked over random enqueue / mark-cleaning / ack / select / clear
+//! interleavings — including in release builds, where `debug_assert!`
+//! compiles away and the cached minimum is all the fast path has.
+//!
+//! The oracle recomputes the minimum outstanding ACK independently from
+//! the public iterator after every operation, so any drift between the
+//! incremental cache (updated by `mark_cleaning` / `drain_acked` /
+//! `clear`) and the queue's true contents fails the property.
+
+use proptest::prelude::*;
+use wl_cache::{DirtyQueue, DqPolicy, DqState};
+
+const CAPACITY: usize = 8;
+
+/// One randomly-drawn operation against the queue. Fields that an
+/// operation does not use are simply ignored by `apply`, which keeps
+/// the strategy a flat tuple the vendored proptest can generate.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push line `base` (skipped when physically full).
+    Push(u32),
+    /// Mark the `nth` dirty entry cleaning, ACK arriving `delta` later.
+    MarkCleaning { nth: usize, delta: u64 },
+    /// Advance time by `delta` and pop every arrived ACK.
+    PopAcked { delta: u64 },
+    /// Run §5.4 selection; entries whose base matches `stale_mask` bits
+    /// are reported stale and lazily dropped.
+    Select { policy_lru: bool, stale_mask: u32 },
+    /// Power-off: the volatile queue empties wholesale.
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..6).prop_map(Op::Push),
+        (0usize..CAPACITY, 1u64..5_000).prop_map(|(nth, delta)| Op::MarkCleaning { nth, delta }),
+        (0u64..6_000).prop_map(|delta| Op::PopAcked { delta }),
+        (0u32..64).prop_map(|bits| Op::Select {
+            policy_lru: bits & 1 == 1,
+            stale_mask: bits >> 1,
+        }),
+        (0u32..1).prop_map(|_| Op::Clear),
+    ]
+}
+
+/// Recomputes the earliest outstanding ACK from the public iterator —
+/// the independent oracle for the cached `min_ack`.
+fn oracle_next_ack(q: &DirtyQueue) -> Option<u64> {
+    q.iter()
+        .filter_map(|e| match e.state {
+            DqState::Cleaning { ack_at } => Some(ack_at),
+            DqState::Dirty => None,
+        })
+        .min()
+}
+
+fn apply(q: &mut DirtyQueue, now: &mut u64, op: Op) {
+    match op {
+        Op::Push(base) => {
+            if q.len() < q.capacity() {
+                q.push(base);
+            }
+        }
+        Op::MarkCleaning { nth, delta } => {
+            let dirty: Vec<u32> = q
+                .iter()
+                .filter(|e| e.state == DqState::Dirty)
+                .map(|e| e.base)
+                .collect();
+            if !dirty.is_empty() {
+                q.mark_cleaning(dirty[nth % dirty.len()], *now + delta);
+            }
+        }
+        Op::PopAcked { delta } => {
+            *now += delta;
+            q.pop_acked(*now);
+        }
+        Op::Select {
+            policy_lru,
+            stale_mask,
+        } => {
+            let policy = if policy_lru {
+                DqPolicy::Lru
+            } else {
+                DqPolicy::Fifo
+            };
+            q.select_for_cleaning(policy, |base| {
+                (stale_mask & (1 << (base % 32)) == 0).then_some(u64::from(base))
+            });
+        }
+        Op::Clear => q.clear(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// After every operation of a random interleaving, the cached
+    /// minimum ACK (`next_ack`) equals a from-scratch scan of the
+    /// queue, and occupancy accounting stays coherent.
+    #[test]
+    fn cached_min_ack_matches_scan_under_random_interleavings(
+        ops in prop::collection::vec(op_strategy(), 1..64),
+    ) {
+        let mut q = DirtyQueue::new(CAPACITY);
+        let mut now: u64 = 0;
+        for op in ops {
+            apply(&mut q, &mut now, op);
+            prop_assert_eq!(q.next_ack(), oracle_next_ack(&q), "after {:?}", op);
+            prop_assert!(q.len() <= q.capacity());
+            let dirty = q.iter().filter(|e| e.state == DqState::Dirty).count();
+            prop_assert_eq!(q.dirty_count(), dirty);
+            // Every arrived ACK has been popped, so whatever remains
+            // outstanding is strictly in the future.
+            if let Some(ack) = q.next_ack() {
+                prop_assert!(ack > now, "stale Cleaning entry survived pop_acked");
+            }
+        }
+    }
+}

@@ -1,14 +1,28 @@
-//! Exhaustive small-scope check of the WL-Cache write policy (§5):
-//! every event sequence up to a fixed length, over an alphabet designed
-//! to hit the protocol's corner cases (redundant DirtyQueue entries,
-//! stale entries from evictions, checkpoints racing in-flight
-//! write-backs), must leave NVM consistent with an oracle after the JIT
-//! checkpoint.
+//! Bounded exhaustive check of the WL-Cache write policy (§5), driven
+//! through `ehsim-verify`'s explicit-state model-checking engine.
+//!
+//! The [`Model`] below wraps the *concrete* [`WlCache`] in a harness of
+//! real NVM/port/energy components; the engine's BFS then explores every
+//! event sequence up to the depth bound, over an alphabet designed to
+//! hit the protocol's corner cases (redundant DirtyQueue entries, stale
+//! entries from evictions, checkpoints racing in-flight write-backs).
+//! `check()` runs at **every** explored state and plays the crash card
+//! each time: a clone of the harness is JIT-checkpointed and its NVM
+//! compared byte-for-byte with the oracle, so consistency is verified
+//! after every prefix, not only at explicit `PowerCycle` events.
+//!
+//! The concrete harness deliberately returns `None` from
+//! `fingerprint()`: hashing a full simulator state would risk unsound
+//! dedup, so the engine enumerates all `6^depth` paths — the same
+//! strength as the original hand-rolled odometer loop, minus the
+//! boilerplate. The fully-fingerprintable *abstract* twin of this model
+//! (millions of deduplicated states) lives in `ehsim_verify::model`.
 
 use ehsim_cache::{CacheDesign, CacheGeometry, CacheStats, MemCtx};
 use ehsim_energy::EnergyMeter;
 use ehsim_mem::{AccessSize, FunctionalMem, NvmEnergy, NvmPort, NvmTiming, Ps};
-use wl_cache::{AdaptationMode, Thresholds, WlCacheBuilder};
+use ehsim_verify::engine::{explore, run_path, Limits, Model};
+use wl_cache::{AdaptationMode, Thresholds, WlCache, WlCacheBuilder};
 
 /// The event alphabet. Addresses are chosen so that:
 /// - `A` (0x000) and `C` (0x100) conflict in the direct-mapped cache
@@ -37,62 +51,130 @@ const ALPHABET: [Event; 6] = [
     Event::PowerCycle,
 ];
 
-struct Harness {
+/// Concrete protocol state: the real cache plus its memory-system
+/// harness. Cloned along the BFS frontier; the observer is not
+/// cloneable (and must stay disabled anyway), so each clone gets a
+/// fresh `Noop`.
+struct ProtoState {
+    cache: WlCache,
     port: NvmPort,
-    timing: NvmTiming,
-    energy: NvmEnergy,
     nvm: FunctionalMem,
     oracle: FunctionalMem,
     meter: EnergyMeter,
     stats: CacheStats,
     now: Ps,
+    stores: u32,
     obs: ehsim_obs::ObserverBox,
 }
 
-impl Harness {
+impl Clone for ProtoState {
+    fn clone(&self) -> Self {
+        Self {
+            cache: self.cache.clone(),
+            port: self.port.clone(),
+            nvm: self.nvm.clone(),
+            oracle: self.oracle.clone(),
+            meter: self.meter,
+            stats: self.stats,
+            now: self.now,
+            stores: self.stores,
+            obs: ehsim_obs::ObserverBox::Noop,
+        }
+    }
+}
+
+impl ProtoState {
+    /// Split-borrow helper: hands the closure the cache and a `MemCtx`
+    /// over the *other* harness fields.
+    fn with_ctx<R>(
+        &mut self,
+        timing: &NvmTiming,
+        energy: &NvmEnergy,
+        f: impl FnOnce(&mut WlCache, &mut MemCtx<'_>) -> R,
+    ) -> R {
+        let now = self.now;
+        let Self {
+            cache,
+            port,
+            nvm,
+            meter,
+            stats,
+            obs,
+            ..
+        } = self;
+        let mut ctx = MemCtx {
+            now,
+            port,
+            timing,
+            energy,
+            nvm,
+            meter,
+            stats,
+            cap_voltage: 3.3,
+            cap_energy_pj: 1e9,
+            obs,
+        };
+        f(cache, &mut ctx)
+    }
+
+    /// The JIT checkpoint + verify + cold reboot sequence.
+    fn power_cycle(&mut self, timing: &NvmTiming, energy: &NvmEnergy) -> Result<(), String> {
+        self.now = self.with_ctx(timing, energy, |cache, ctx| cache.checkpoint(ctx));
+        self.cache.power_off();
+        self.port.reset();
+        if self.nvm.as_bytes() != self.oracle.as_bytes() {
+            return Err("NVM diverged from the oracle after the JIT checkpoint".into());
+        }
+        self.now = self.with_ctx(timing, energy, |cache, ctx| cache.reboot(ctx, 1_000_000));
+        Ok(())
+    }
+}
+
+/// The concrete §5 protocol as an `ehsim-verify` model.
+struct ProtocolModel {
+    timing: NvmTiming,
+    energy: NvmEnergy,
+}
+
+impl ProtocolModel {
     fn new() -> Self {
         Self {
-            port: NvmPort::new(),
             timing: NvmTiming::default(),
             energy: NvmEnergy::default(),
+        }
+    }
+}
+
+impl Model for ProtocolModel {
+    type State = ProtoState;
+    type Action = Event;
+
+    fn initial(&self) -> ProtoState {
+        // Direct-mapped, 2 lines of 64 B: maximal conflict pressure.
+        let mut builder = WlCacheBuilder::new();
+        builder
+            .geometry(CacheGeometry::new(128, 1, 64))
+            .thresholds(Thresholds::new(4, 2, 1).expect("valid"))
+            .adaptation(AdaptationMode::Static);
+        ProtoState {
+            cache: builder.build(),
+            port: NvmPort::new(),
             nvm: FunctionalMem::new(1024),
             oracle: FunctionalMem::new(1024),
             meter: EnergyMeter::new(),
             stats: CacheStats::new(),
             now: 0,
+            stores: 0,
             obs: ehsim_obs::ObserverBox::Noop,
         }
     }
 
-    fn ctx(&mut self) -> MemCtx<'_> {
-        MemCtx {
-            now: self.now,
-            port: &mut self.port,
-            timing: &self.timing,
-            energy: &self.energy,
-            nvm: &mut self.nvm,
-            meter: &mut self.meter,
-            stats: &mut self.stats,
-            cap_voltage: 3.3,
-            cap_energy_pj: 1e9,
-            obs: &mut self.obs,
-        }
+    fn actions(&self, _: &ProtoState, out: &mut Vec<Event>) {
+        out.extend_from_slice(&ALPHABET);
     }
-}
 
-fn run_sequence(seq: &[Event]) {
-    // Direct-mapped, 2 lines of 64 B: maximal conflict pressure.
-    let mut builder = WlCacheBuilder::new();
-    builder
-        .geometry(CacheGeometry::new(128, 1, 64))
-        .thresholds(Thresholds::new(4, 2, 1).expect("valid"))
-        .adaptation(AdaptationMode::Static);
-    let mut cache = builder.build();
-    let mut h = Harness::new();
-    let mut counter: u32 = 1;
-
-    for (step, ev) in seq.iter().enumerate() {
-        counter = counter.wrapping_mul(31).wrapping_add(step as u32 + 1);
+    fn step(&self, s: &ProtoState, ev: &Event) -> Result<Option<ProtoState>, String> {
+        let mut s = s.clone();
         match ev {
             Event::StoreA | Event::StoreB | Event::StoreC => {
                 let addr = match ev {
@@ -100,79 +182,77 @@ fn run_sequence(seq: &[Event]) {
                     Event::StoreB => 0x040,
                     _ => 0x100,
                 };
-                let mut ctx = h.ctx();
-                let done = cache.store(&mut ctx, addr, AccessSize::B4, u64::from(counter));
-                h.oracle.write(addr, AccessSize::B4, u64::from(counter));
-                h.now = done;
+                // Distinct value per store along the path, as the old
+                // odometer loop's counter provided.
+                s.stores = s.stores.wrapping_mul(31).wrapping_add(1);
+                let val = u64::from(s.stores);
+                s.now = s.with_ctx(&self.timing, &self.energy, |cache, ctx| {
+                    cache.store(ctx, addr, AccessSize::B4, val)
+                });
+                s.oracle.write(addr, AccessSize::B4, val);
             }
             Event::LoadA => {
-                let mut ctx = h.ctx();
-                let (done, v) = cache.load(&mut ctx, 0x000, AccessSize::B4);
-                h.now = done;
+                let (done, v) = s.with_ctx(&self.timing, &self.energy, |cache, ctx| {
+                    cache.load(ctx, 0x000, AccessSize::B4)
+                });
+                s.now = done;
                 // Read-your-writes against the oracle.
-                assert_eq!(
-                    v,
-                    h.oracle.read(0x000, AccessSize::B4),
-                    "load mismatch in {seq:?} at step {step}"
-                );
+                let expected = s.oracle.read(0x000, AccessSize::B4);
+                if v != expected {
+                    return Err(format!("load returned {v:#x}, oracle has {expected:#x}"));
+                }
             }
             Event::Wait => {
-                h.now += 500_000; // 500 ns: every in-flight ACK lands
+                s.now += 500_000; // 500 ns: every in-flight ACK lands
             }
             Event::PowerCycle => {
-                power_cycle(&mut cache, &mut h, seq, step);
+                s.power_cycle(&self.timing, &self.energy)?;
             }
         }
+        Ok(Some(s))
     }
-    // Terminal checkpoint: consistency must hold at the end of every
-    // sequence regardless of in-flight state.
-    let len = seq.len();
-    power_cycle(&mut cache, &mut h, seq, len);
-}
 
-fn power_cycle(cache: &mut wl_cache::WlCache, h: &mut Harness, seq: &[Event], step: usize) {
-    let mut ctx = h.ctx();
-    let done = cache.checkpoint(&mut ctx);
-    h.now = done;
-    cache.power_off();
-    h.port.reset();
-    assert_eq!(
-        h.nvm.as_bytes(),
-        h.oracle.as_bytes(),
-        "NVM diverged from oracle after checkpoint in {seq:?} at step {step}"
-    );
-    let mut ctx = h.ctx();
-    let done = cache.reboot(&mut ctx, 1_000_000);
-    h.now = done;
+    /// Crash at every state: a throwaway clone is checkpointed and its
+    /// NVM compared with the oracle, plus the cheap structural bounds.
+    fn check(&self, s: &ProtoState) -> Result<(), String> {
+        let maxline = s.cache.thresholds_config().maxline();
+        if s.cache.dq_len() > maxline {
+            return Err(format!(
+                "DirtyQueue holds {} entries, maxline is {maxline}",
+                s.cache.dq_len()
+            ));
+        }
+        let mut crashed = s.clone();
+        crashed
+            .power_cycle(&self.timing, &self.energy)
+            .map_err(|e| format!("crash at this state: {e}"))
+    }
+
+    /// No dedup: hashing the full concrete simulator state would risk
+    /// unsound pruning, so every path is enumerated (bounded-exhaustive,
+    /// exactly like the original test).
+    fn fingerprint(&self, _: &ProtoState) -> Option<u64> {
+        None
+    }
 }
 
 #[test]
 fn all_sequences_up_to_length_5_are_consistent() {
-    // 6^5 = 7776 sequences, each ending in a forced checkpoint+verify.
-    let n = ALPHABET.len();
-    for len in 1..=5usize {
-        let mut idx = vec![0usize; len];
-        loop {
-            let seq: Vec<Event> = idx.iter().map(|&i| ALPHABET[i]).collect();
-            run_sequence(&seq);
-            // Odometer increment.
-            let mut pos = 0;
-            loop {
-                if pos == len {
-                    break;
-                }
-                idx[pos] += 1;
-                if idx[pos] < n {
-                    break;
-                }
-                idx[pos] = 0;
-                pos += 1;
-            }
-            if pos == len {
-                break;
-            }
-        }
+    // 6^0 + … + 6^5 = 9331 states, each crash-verified in `check`, so
+    // every sequence of ≤ 5 events ends with a forced checkpoint+verify
+    // — the original enumeration's guarantee, plus all prefixes.
+    let out = explore(
+        &ProtocolModel::new(),
+        Limits {
+            max_depth: 5,
+            max_states: usize::MAX,
+        },
+    );
+    if let Some(v) = &out.violation {
+        panic!("protocol violation:\n{v}");
     }
+    assert_eq!(out.states, 9331, "bounded-exhaustive coverage shrank");
+    assert!(out.truncated, "depth bound is what stops this search");
 }
 
 #[test]
@@ -180,11 +260,16 @@ fn the_papers_racing_store_scenario_is_covered() {
     // §5.3's motivating interleaving, explicitly: store A, force a
     // cleaning via pressure, re-store A while the write-back is in
     // flight, then fail. The final NVM value must be the second store's.
-    run_sequence(&[
-        Event::StoreA,
-        Event::StoreB,
-        Event::StoreC, // waterline exceeded: cleaning launches
-        Event::StoreA, // re-dirty while (possibly) in flight
-        Event::PowerCycle,
-    ]);
+    let end = run_path(
+        &ProtocolModel::new(),
+        &[
+            Event::StoreA,
+            Event::StoreB,
+            Event::StoreC, // waterline exceeded: cleaning launches
+            Event::StoreA, // re-dirty while (possibly) in flight
+            Event::PowerCycle,
+        ],
+    )
+    .unwrap_or_else(|v| panic!("racing-store scenario violated:\n{v}"));
+    assert_eq!(end.nvm.as_bytes(), end.oracle.as_bytes());
 }

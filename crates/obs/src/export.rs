@@ -380,7 +380,38 @@ pub(crate) fn interval_metrics_tsv(trace: &RunTrace) -> String {
             | Event::VoltageCross { .. } => {}
         }
     }
+    histogram_footer(&mut out, trace);
     out
+}
+
+/// Appends the three run-wide [`crate::ObsHistograms`] as `#`-prefixed
+/// footer lines, so TSV consumers that treat `#` as a comment (and the
+/// interval-row counters above) are unaffected. One `# histogram`
+/// summary line per histogram, then one `# bucket` line per non-empty
+/// log2 bucket: `lower<TAB>upper<TAB>count` with both bounds inclusive.
+fn histogram_footer(out: &mut String, trace: &RunTrace) {
+    let h = &trace.histograms;
+    for (name, hist) in [
+        ("outage_interval_ps", &h.outage_interval_ps),
+        ("dirty_at_checkpoint", &h.dirty_at_checkpoint),
+        ("writeback_latency_ps", &h.writeback_latency_ps),
+    ] {
+        let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+        let _ = writeln!(
+            out,
+            "# histogram\t{name}\tcount={}\tsum={}\tmean={:.3}\tmin={}\tp50={}\tp99={}\tmax={}",
+            hist.count(),
+            hist.sum(),
+            hist.mean(),
+            opt(hist.min()),
+            opt(hist.percentile(0.5)),
+            opt(hist.percentile(0.99)),
+            opt(hist.max()),
+        );
+        for (lower, upper, count) in hist.buckets() {
+            let _ = writeln!(out, "# bucket\t{name}\t{lower}\t{upper}\t{count}");
+        }
+    }
 }
 
 /// Summary returned by a successful [`validate_chrome_trace`].
@@ -451,14 +482,14 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         let tid = field_num(line, "\"tid\":").unwrap_or(0.0) as u32;
         match ph.as_str() {
             "B" => {
-                let stack = match stacks.iter_mut().find(|(t, _)| *t == tid) {
-                    Some((_, s)) => s,
+                let idx = match stacks.iter().position(|(t, _)| *t == tid) {
+                    Some(i) => i,
                     None => {
                         stacks.push((tid, Vec::new()));
-                        &mut stacks.last_mut().unwrap().1
+                        stacks.len() - 1
                     }
                 };
-                stack.push(name);
+                stacks[idx].1.push(name);
             }
             "E" => {
                 let stack = stacks
@@ -581,7 +612,7 @@ mod tests {
     #[test]
     fn interval_metrics_rows_per_interval() {
         let tsv = sample_trace().interval_metrics_tsv();
-        let lines: Vec<&str> = tsv.lines().collect();
+        let lines: Vec<&str> = tsv.lines().filter(|l| !l.starts_with('#')).collect();
         // Header + interval 0 (closed by checkpoint) + interval 1 (RunEnd).
         assert_eq!(lines.len(), 3);
         assert!(lines[0].starts_with("interval\tstart_ps"));
@@ -596,5 +627,38 @@ mod tests {
         assert_eq!(row1[0], "1");
         assert_eq!(row1[4], "-"); // no checkpoint closed the final row
         assert_eq!(row1[3], "80"); // 1000 - 920
+    }
+
+    #[test]
+    fn interval_metrics_footer_renders_all_histograms() {
+        let tsv = sample_trace().interval_metrics_tsv();
+        let footer: Vec<&str> = tsv.lines().filter(|l| l.starts_with('#')).collect();
+        // One summary line per histogram, always present (even if empty).
+        for name in [
+            "outage_interval_ps",
+            "dirty_at_checkpoint",
+            "writeback_latency_ps",
+        ] {
+            let summary = footer
+                .iter()
+                .find(|l| l.starts_with("# histogram\t") && l.contains(name))
+                .unwrap_or_else(|| panic!("missing histogram summary for {name}"));
+            assert!(summary.contains("count="), "{summary}");
+            assert!(summary.contains("p99="), "{summary}");
+        }
+        // sample_trace has one WritebackIssued->DqAck pair (latency 100)
+        // and one checkpoint with 1 dirty line; their buckets must show.
+        let wb = footer
+            .iter()
+            .find(|l| l.starts_with("# histogram\twriteback_latency_ps"))
+            .expect("write-back summary");
+        assert!(wb.contains("count=1"), "{wb}");
+        assert!(wb.contains("min=100"), "{wb}");
+        let wb_bucket = footer
+            .iter()
+            .find(|l| l.starts_with("# bucket\twriteback_latency_ps"))
+            .expect("non-empty histograms must render bucket lines");
+        // log2 bucket holding 100: [64, 127], count 1.
+        assert_eq!(*wb_bucket, "# bucket\twriteback_latency_ps\t64\t127\t1");
     }
 }

@@ -21,6 +21,7 @@
 //! [`validate_chrome_trace`] checks an emitted trace for monotonic
 //! timestamps and balanced begin/end pairs — used by CI.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod event;

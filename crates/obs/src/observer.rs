@@ -58,6 +58,13 @@ impl ObserverBox {
         ObserverBox::Recording(Recorder::default())
     }
 
+    /// Boxes a user-supplied sink (see `examples/invariant_observer.rs`
+    /// for the cookbook). To read results back after the run, keep
+    /// shared state (`Arc<Mutex<_>>`) inside the observer.
+    pub fn custom(observer: impl Observer + Send + 'static) -> Self {
+        ObserverBox::Custom(Box::new(observer))
+    }
+
     /// `true` unless this is the no-op sink. Instrumentation sites guard
     /// argument computation with this so the disabled path does no work.
     #[inline(always)]

@@ -416,14 +416,16 @@ impl Machine {
     /// builds the full-overlay scan cross-checks this argument on every
     /// outage.
     fn verify_consistency(&mut self) {
+        let Some(oracle) = self.verify_oracle.as_mut() else {
+            return; // verification disabled for this run
+        };
         let mut lines: Vec<u32> = Vec::new();
         self.nvm.take_written_lines(&mut lines);
-        let oracle = self.verify_oracle.as_mut().expect("verify enabled");
         oracle.take_written_lines(&mut lines);
         lines.sort_unstable();
         lines.dedup();
 
-        let oracle = self.verify_oracle.as_ref().expect("verify enabled");
+        let oracle = &*oracle;
         let lb = self.verify_line_bytes as usize;
         let mut mismatch: Option<(u32, u8, u8)> = None;
         'scan: for &base in &lines {

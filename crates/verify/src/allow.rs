@@ -1,0 +1,235 @@
+//! The lint allowlist: `verify-allow.toml` at the workspace root.
+//!
+//! The file is a sequence of `[[allow]]` tables, each carrying the rule
+//! ID, the workspace-relative path, an optional `contains` substring
+//! matched against the offending line, and a mandatory written `why`.
+//! The parser is a deliberately small TOML subset (tables of string
+//! key/value pairs) so the crate stays dependency-free; entries that
+//! match no finding fail deny mode, keeping the file honest.
+
+use std::fmt;
+use std::path::Path;
+
+/// One `[[allow]]` entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule ID the exception applies to (`L004`…).
+    pub rule: String,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// Substring the offending line must contain (empty = any line in
+    /// the file, used for whole-file findings).
+    pub contains: String,
+    /// The written justification; mandatory and non-empty.
+    pub why: String,
+    used: bool,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} `{}`", self.rule, self.path, self.contains)
+    }
+}
+
+/// The parsed allowlist with per-entry usage tracking.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Load `verify-allow.toml` from `root`; a missing file is an empty
+    /// allowlist (fresh trees start deny-clean).
+    pub fn load(root: &Path) -> Result<Self, String> {
+        let path = root.join("verify-allow.toml");
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Parse allowlist text. Strict: unknown keys, unknown rule IDs,
+    /// missing `why`, or malformed lines are errors.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = current.take() {
+                    entries.push(validated(e, lineno)?);
+                }
+                current = Some(AllowEntry {
+                    rule: String::new(),
+                    path: String::new(),
+                    contains: String::new(),
+                    why: String::new(),
+                    used: false,
+                });
+                continue;
+            }
+            let Some(entry) = current.as_mut() else {
+                return Err(format!(
+                    "verify-allow.toml:{lineno}: key outside [[allow]] table"
+                ));
+            };
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "verify-allow.toml:{lineno}: expected `key = \"value\"`"
+                ));
+            };
+            let value = parse_string(value.trim()).ok_or_else(|| {
+                format!("verify-allow.toml:{lineno}: value must be a quoted string")
+            })?;
+            match key.trim() {
+                "rule" => entry.rule = value,
+                "path" => entry.path = value,
+                "contains" => entry.contains = value,
+                "why" => entry.why = value,
+                other => {
+                    return Err(format!("verify-allow.toml:{lineno}: unknown key `{other}`"));
+                }
+            }
+        }
+        if let Some(e) = current.take() {
+            entries.push(validated(e, text.lines().count())?);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Whether an entry covers this finding; marks the entry used.
+    pub fn covers(&mut self, rule: &str, path: &str, excerpt: &str) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.rule == rule
+                && e.path == path
+                && (e.contains.is_empty() || excerpt.contains(&e.contains))
+            {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched a finding, rendered for diagnostics.
+    pub fn unused(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used)
+            .map(|e| e.to_string())
+            .collect()
+    }
+
+    /// Number of entries loaded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn validated(e: AllowEntry, lineno: usize) -> Result<AllowEntry, String> {
+    if crate::lint::rule(&e.rule).is_none() {
+        return Err(format!(
+            "verify-allow.toml (entry before line {lineno}): unknown rule `{}`",
+            e.rule
+        ));
+    }
+    if e.path.is_empty() {
+        return Err(format!(
+            "verify-allow.toml (entry before line {lineno}): missing path"
+        ));
+    }
+    if e.why.trim().is_empty() {
+        return Err(format!(
+            "verify-allow.toml (entry before line {lineno}): every exception needs a written why"
+        ));
+    }
+    Ok(e)
+}
+
+/// Parse a basic TOML string literal: `"…"` with `\"` and `\\` escapes.
+fn parse_string(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            return None; // unescaped quote mid-string: trailing junk
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# exceptions, one table per finding
+[[allow]]
+rule = "L004"
+path = "crates/core/src/dirty_queue.rs"
+contains = "expect(\"mark_cleaning"
+why = "slot index comes from select_for_cleaning on the same queue"
+
+[[allow]]
+rule = "L006"
+path = "crates/energy/src/trace.rs"
+contains = "as Ps"
+why = "truncation is load-bearing for byte-identity of results/"
+"#;
+
+    #[test]
+    fn parses_and_tracks_usage() {
+        let mut a = Allowlist::parse(GOOD).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.covers(
+            "L004",
+            "crates/core/src/dirty_queue.rs",
+            r#"let e = self.entries.get_mut(i).expect("mark_cleaning idx");"#
+        ));
+        assert!(!a.covers("L004", "crates/core/src/cache.rs", "x.expect(\"y\")"));
+        let unused = a.unused();
+        assert_eq!(unused.len(), 1);
+        assert!(unused[0].contains("trace.rs"));
+    }
+
+    #[test]
+    fn rejects_missing_why_and_unknown_rules() {
+        let no_why = "[[allow]]\nrule = \"L004\"\npath = \"x.rs\"\n";
+        assert!(Allowlist::parse(no_why).unwrap_err().contains("why"));
+        let bad_rule = "[[allow]]\nrule = \"L999\"\npath = \"x.rs\"\nwhy = \"w\"\n";
+        assert!(Allowlist::parse(bad_rule)
+            .unwrap_err()
+            .contains("unknown rule"));
+        let bare_key = "rule = \"L004\"\n";
+        assert!(Allowlist::parse(bare_key).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        assert_eq!(parse_string(r#""a\"b\\c""#).unwrap(), "a\"b\\c");
+        assert!(parse_string("\"unterminated").is_none());
+        assert!(parse_string("bare").is_none());
+    }
+}

@@ -1,0 +1,567 @@
+//! An abstract, fully-fingerprintable model of the WL-Cache §5
+//! asynchronous write-back protocol.
+//!
+//! The state is deliberately tiny — [`NUM_ADDRS`] cache-line addresses
+//! over [`NUM_SETS`] direct-mapped sets, store values folded modulo
+//! [`VAL_MOD`], a [`DQ_CAP`]-slot DirtyQueue and NVM/oracle images —
+//! so breadth-first exploration with dedup covers the protocol's
+//! interleavings (stores, loads with dirty evictions, cleaning issue,
+//! out-of-order ACK delivery, and a crash at every step) far beyond
+//! what fixed-length sequence enumeration reaches.
+//!
+//! Semantics mirror the concrete implementation in `crates/core` and
+//! `crates/cache`:
+//!
+//! * an asynchronous line write lands in NVM **at issue** (only the ACK
+//!   that frees the DirtyQueue slot is delayed), matching
+//!   `MemCtx::async_line_write`;
+//! * cleaning marks the line clean **before** issuing, so a racing
+//!   store re-dirties the line and enqueues a redundant entry;
+//! * stale entries (line no longer dirty, or set re-used by another
+//!   address) are lazily dropped at selection time;
+//! * a full queue first raises `maxline` dynamically (up to
+//!   [`DQ_CAP`]), then stalls the store;
+//! * power failure runs the JIT checkpoint — every still-dirty line is
+//!   flushed — and reboots with a cold cache and base thresholds.
+//!
+//! Five invariants are checked at every state; see [`WriteBackModel`].
+//! [`Mutation`]s inject one protocol bug each and are used by tests to
+//! demonstrate that every invariant has teeth.
+
+use crate::engine::{Fnv, Model};
+
+/// Distinct line addresses in the model.
+pub const NUM_ADDRS: u8 = 4;
+/// Direct-mapped sets; address `a` maps to set `a % NUM_SETS`.
+pub const NUM_SETS: u8 = 2;
+/// Store values are per-address write counters folded mod this.
+pub const VAL_MOD: u8 = 4;
+/// DirtyQueue slots.
+pub const DQ_CAP: u8 = 4;
+/// `maxline` at the start of every power interval.
+pub const BASE_MAXLINE: u8 = 3;
+/// `waterline` at the start of every power interval.
+pub const BASE_WATERLINE: u8 = 1;
+
+/// Sentinel for a cached min-ACK that references a no-longer-
+/// outstanding ticket (only reachable through a [`Mutation`]).
+const STALE_TICKET: u8 = u8::MAX;
+
+/// One DirtyQueue slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DqEntry {
+    /// Enqueued, write-back not yet issued.
+    Pending {
+        /// Line address.
+        addr: u8,
+    },
+    /// Write-back issued; the slot is held until the ACK arrives.
+    Cleaning {
+        /// Line address.
+        addr: u8,
+        /// Issue-order ticket; lower tickets were issued earlier.
+        ticket: u8,
+    },
+}
+
+/// One direct-mapped cache line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Line {
+    /// Cached address.
+    pub addr: u8,
+    /// Cached value (write counter mod [`VAL_MOD`]).
+    pub val: u8,
+    /// Dirty bit.
+    pub dirty: bool,
+}
+
+/// Full abstract system state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbsState {
+    /// Per-set cache contents.
+    pub cache: [Option<Line>; NUM_SETS as usize],
+    /// DirtyQueue slots, FIFO order.
+    pub dq: Vec<DqEntry>,
+    /// Cached minimum outstanding ACK ticket (mirrors the concrete
+    /// DirtyQueue's `min_ack` incremental cache).
+    pub dq_min_ack: Option<u8>,
+    /// NVM image, one value per address.
+    pub nvm: [u8; NUM_ADDRS as usize],
+    /// Oracle: the value every committed store produced, per address.
+    pub oracle: [u8; NUM_ADDRS as usize],
+    /// Current `maxline` (dyn raises move it up within an interval).
+    pub maxline: u8,
+    /// Current `waterline`.
+    pub waterline: u8,
+    /// `maxline` at the start of the current power interval.
+    pub interval_maxline: u8,
+    /// `waterline` at the start of the current power interval.
+    pub interval_waterline: u8,
+    /// Next issue ticket (renormalized after every step).
+    pub next_ticket: u8,
+    /// Write-backs issued minus ACKs delivered this interval
+    /// (renormalized so ACKed history does not grow the state).
+    pub outstanding_wb: u8,
+}
+
+/// One enabled transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Act {
+    /// CPU store to an address (allocates, may evict, dirties, enqueues).
+    Store(u8),
+    /// CPU load from an address (allocates clean on miss, may evict).
+    Load(u8),
+    /// Background cleaner issues one write-back from the DirtyQueue.
+    IssueCleaning,
+    /// The `k`-th smallest outstanding ACK ticket arrives (out-of-order
+    /// delivery models multi-bank NVM completion).
+    DeliverAck(u8),
+    /// Sudden power failure: JIT checkpoint, then cold reboot.
+    Crash,
+}
+
+/// A deliberately-injected protocol bug. Each mutation breaks exactly
+/// one of the five invariants, proving the invariant has teeth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Crash skips the JIT checkpoint flush of dirty lines → I1.
+    SkipJitFlush,
+    /// Cleaning selection issues stale entries instead of dropping
+    /// them, writing another line's data to the stale address → I1.
+    SkipStaleDrop,
+    /// Slot reservation neither respects `maxline` nor dyn-raises,
+    /// overfilling the queue → I2.
+    OverfillQueue,
+    /// Delivering the minimum ACK skips the min-cache rescan → I3.
+    SkipMinRecompute,
+    /// Every ACK lowers `maxline`, moving thresholds down mid-interval
+    /// → I4.
+    LowerThresholdMidInterval,
+    /// The DirtyQueue slot is freed at issue instead of at ACK, losing
+    /// the in-flight write-back's accounting → I5.
+    FreeSlotAtIssue,
+}
+
+/// The §5 write-back protocol as a checkable [`Model`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WriteBackModel {
+    /// Injected bug, or `None` for the faithful protocol.
+    pub mutation: Option<Mutation>,
+}
+
+impl WriteBackModel {
+    /// The faithful protocol.
+    pub fn faithful() -> Self {
+        Self { mutation: None }
+    }
+
+    /// The protocol with one injected bug.
+    pub fn mutated(m: Mutation) -> Self {
+        Self { mutation: Some(m) }
+    }
+
+    fn is(&self, m: Mutation) -> bool {
+        self.mutation == Some(m)
+    }
+}
+
+fn set_of(addr: u8) -> usize {
+    (addr % NUM_SETS) as usize
+}
+
+impl AbsState {
+    fn cold() -> Self {
+        Self {
+            cache: [None; NUM_SETS as usize],
+            dq: Vec::new(),
+            dq_min_ack: None,
+            nvm: [0; NUM_ADDRS as usize],
+            oracle: [0; NUM_ADDRS as usize],
+            maxline: BASE_MAXLINE,
+            waterline: BASE_WATERLINE,
+            interval_maxline: BASE_MAXLINE,
+            interval_waterline: BASE_WATERLINE,
+            next_ticket: 0,
+            outstanding_wb: 0,
+        }
+    }
+
+    /// Outstanding ACK tickets, ascending.
+    fn outstanding(&self) -> Vec<u8> {
+        let mut t: Vec<u8> = self
+            .dq
+            .iter()
+            .filter_map(|e| match e {
+                DqEntry::Cleaning { ticket, .. } => Some(*ticket),
+                DqEntry::Pending { .. } => None,
+            })
+            .collect();
+        t.sort_unstable();
+        t
+    }
+
+    /// Renumber outstanding tickets to `0..n` (issue order preserved)
+    /// so ACK history does not inflate the state space. A cached
+    /// min-ACK pointing at a delivered ticket (mutant behaviour) maps
+    /// to [`STALE_TICKET`] so the staleness stays visible to I3.
+    fn normalize(&mut self) {
+        let old = self.outstanding();
+        let rank = |t: u8| old.iter().position(|&o| o == t).map(|p| p as u8);
+        for e in &mut self.dq {
+            if let DqEntry::Cleaning { ticket, .. } = e {
+                if let Some(r) = rank(*ticket) {
+                    *ticket = r;
+                }
+            }
+        }
+        self.dq_min_ack = self.dq_min_ack.map(|m| rank(m).unwrap_or(STALE_TICKET));
+        self.next_ticket = old.len() as u8;
+    }
+
+    /// Reserve a DirtyQueue slot ahead of a push: dyn-raise `maxline`
+    /// when full but below capacity, stall (return `false`) otherwise.
+    fn reserve_slot(&mut self, model: &WriteBackModel) -> bool {
+        if model.is(Mutation::OverfillQueue) {
+            return (self.dq.len() as u8) < DQ_CAP;
+        }
+        if (self.dq.len() as u8) < self.maxline {
+            return true;
+        }
+        if self.maxline < DQ_CAP {
+            self.maxline += 1; // dynamic raise instead of stalling
+            return true;
+        }
+        false
+    }
+
+    /// Evict the line in `set` if it holds a different address; dirty
+    /// victims are written back synchronously (their queue entries go
+    /// stale and are dropped lazily at selection).
+    fn evict_for(&mut self, set: usize, addr: u8) {
+        if let Some(line) = self.cache[set] {
+            if line.addr != addr && line.dirty {
+                self.nvm[line.addr as usize] = line.val;
+            }
+        }
+    }
+}
+
+impl Model for WriteBackModel {
+    type State = AbsState;
+    type Action = Act;
+
+    fn initial(&self) -> AbsState {
+        AbsState::cold()
+    }
+
+    fn actions(&self, s: &AbsState, out: &mut Vec<Act>) {
+        for a in 0..NUM_ADDRS {
+            out.push(Act::Store(a));
+            out.push(Act::Load(a));
+        }
+        if s.dq.iter().any(|e| matches!(e, DqEntry::Pending { .. })) {
+            out.push(Act::IssueCleaning);
+        }
+        for k in 0..s.outstanding().len() as u8 {
+            out.push(Act::DeliverAck(k));
+        }
+        out.push(Act::Crash);
+    }
+
+    fn step(&self, s: &AbsState, a: &Act) -> Result<Option<AbsState>, String> {
+        let mut s = s.clone();
+        match *a {
+            Act::Store(addr) => {
+                let set = set_of(addr);
+                let hit_dirty = s.cache[set].is_some_and(|l| l.addr == addr && l.dirty);
+                // A clean hit, a miss, and a conflict miss all need a
+                // DirtyQueue slot before the line may turn dirty.
+                if !hit_dirty && !s.reserve_slot(self) {
+                    return Ok(None); // stall: progress needs an ACK
+                }
+                s.evict_for(set, addr);
+                let val = (s.oracle[addr as usize] + 1) % VAL_MOD;
+                s.oracle[addr as usize] = val;
+                s.cache[set] = Some(Line {
+                    addr,
+                    val,
+                    dirty: true,
+                });
+                if !hit_dirty {
+                    s.dq.push(DqEntry::Pending { addr });
+                }
+            }
+            Act::Load(addr) => {
+                let set = set_of(addr);
+                if s.cache[set].is_some_and(|l| l.addr == addr) {
+                    return Ok(None); // hit: no state change
+                }
+                s.evict_for(set, addr);
+                let val = s.nvm[addr as usize];
+                s.cache[set] = Some(Line {
+                    addr,
+                    val,
+                    dirty: false,
+                });
+            }
+            Act::IssueCleaning => {
+                // select_for_cleaning: walk from the head, dropping
+                // stale pending entries, and issue the first live one.
+                let mut issued = false;
+                let mut dropped = false;
+                let mut i = 0;
+                while i < s.dq.len() {
+                    let DqEntry::Pending { addr } = s.dq[i] else {
+                        i += 1;
+                        continue;
+                    };
+                    let set = set_of(addr);
+                    let live = s.cache[set].is_some_and(|l| l.addr == addr && l.dirty);
+                    if !live && !self.is(Mutation::SkipStaleDrop) {
+                        s.dq.remove(i); // lazy stale drop
+                        dropped = true;
+                        continue;
+                    }
+                    // Mark clean *before* issue so a racing store
+                    // re-dirties and re-enqueues (redundant entry).
+                    if let Some(line) = s.cache[set].as_mut() {
+                        if line.addr == addr {
+                            line.dirty = false;
+                        }
+                    }
+                    // The async line write lands in NVM at issue; only
+                    // the slot-freeing ACK is delayed. A stale issue
+                    // (mutant) writes whatever the set now holds.
+                    let wb_val = match s.cache[set] {
+                        Some(l) => l.val,
+                        None => s.nvm[addr as usize],
+                    };
+                    s.nvm[addr as usize] = wb_val;
+                    let ticket = s.next_ticket;
+                    s.next_ticket += 1;
+                    s.outstanding_wb += 1;
+                    if self.is(Mutation::FreeSlotAtIssue) {
+                        s.dq.remove(i);
+                    } else {
+                        s.dq[i] = DqEntry::Cleaning { addr, ticket };
+                        s.dq_min_ack = Some(s.dq_min_ack.map_or(ticket, |m| m.min(ticket)));
+                    }
+                    issued = true;
+                    break;
+                }
+                if !issued && !dropped {
+                    return Ok(None);
+                }
+            }
+            Act::DeliverAck(k) => {
+                let outstanding = s.outstanding();
+                let Some(&ticket) = outstanding.get(k as usize) else {
+                    return Ok(None);
+                };
+                let Some(pos) = s
+                    .dq
+                    .iter()
+                    .position(|e| matches!(e, DqEntry::Cleaning { ticket: t, .. } if *t == ticket))
+                else {
+                    return Ok(None);
+                };
+                s.dq.remove(pos); // the ACK frees the slot
+                s.outstanding_wb = s.outstanding_wb.saturating_sub(1);
+                if s.dq_min_ack == Some(ticket) && !self.is(Mutation::SkipMinRecompute) {
+                    s.dq_min_ack = s.outstanding().first().copied();
+                }
+                if self.is(Mutation::LowerThresholdMidInterval) && s.maxline > 1 {
+                    s.maxline -= 1;
+                }
+            }
+            Act::Crash => {
+                // JIT checkpoint: flush every still-dirty line, then
+                // lose all volatile state and reboot on base thresholds.
+                if !self.is(Mutation::SkipJitFlush) {
+                    for line in s.cache.into_iter().flatten() {
+                        if line.dirty {
+                            s.nvm[line.addr as usize] = line.val;
+                        }
+                    }
+                }
+                let nvm = s.nvm;
+                let oracle = s.oracle;
+                s = AbsState::cold();
+                s.nvm = nvm;
+                s.oracle = oracle;
+            }
+        }
+        s.normalize();
+        Ok(Some(s))
+    }
+
+    fn check(&self, s: &AbsState) -> Result<(), String> {
+        // I1: every address that is not dirty in the cache must be
+        // consistent in NVM (async writes land at issue; dirty evictions
+        // and the JIT checkpoint flush synchronously). Post-recovery
+        // consistency is this invariant at the cold post-crash state.
+        for a in 0..NUM_ADDRS {
+            let dirty_in_cache = s.cache[set_of(a)].is_some_and(|l| l.addr == a && l.dirty);
+            if !dirty_in_cache && s.nvm[a as usize] != s.oracle[a as usize] {
+                return Err(format!(
+                    "I1 nvm-consistency: addr {a} is clean but NVM has {} where the oracle has {}",
+                    s.nvm[a as usize], s.oracle[a as usize]
+                ));
+            }
+        }
+        // I2: occupancy bounded by maxline, maxline by capacity.
+        if s.dq.len() as u8 > s.maxline || s.maxline > DQ_CAP {
+            return Err(format!(
+                "I2 occupancy: {} entries with maxline {} (cap {DQ_CAP})",
+                s.dq.len(),
+                s.maxline
+            ));
+        }
+        // I3: the incremental min-ACK cache agrees with a full scan.
+        let scanned = s.outstanding().first().copied();
+        if s.dq_min_ack != scanned {
+            return Err(format!(
+                "I3 min-ack: cached {:?} but scan finds {scanned:?}",
+                s.dq_min_ack
+            ));
+        }
+        // I4: thresholds only move up within a power interval.
+        if s.maxline < s.interval_maxline || s.waterline < s.interval_waterline {
+            return Err(format!(
+                "I4 threshold-monotonic: maxline {} / waterline {} fell below interval start {} / {}",
+                s.maxline, s.waterline, s.interval_maxline, s.interval_waterline
+            ));
+        }
+        // I5: write-back accounting — every issued write-back holds
+        // exactly one Cleaning slot until its ACK, none lost, none
+        // double-freed.
+        let cleaning =
+            s.dq.iter()
+                .filter(|e| matches!(e, DqEntry::Cleaning { .. }))
+                .count() as u8;
+        if s.outstanding_wb != cleaning {
+            return Err(format!(
+                "I5 wb-accounting: {} write-backs in flight but {cleaning} Cleaning slots",
+                s.outstanding_wb
+            ));
+        }
+        let tickets = s.outstanding();
+        if tickets.windows(2).any(|w| w[0] == w[1]) {
+            return Err("I5 wb-accounting: duplicate ACK tickets".to_string());
+        }
+        Ok(())
+    }
+
+    fn fingerprint(&self, s: &AbsState) -> Option<u64> {
+        let mut h = Fnv::default();
+        for line in &s.cache {
+            match line {
+                None => h.write(&[0xff]),
+                Some(l) => h.write(&[l.addr, l.val, u8::from(l.dirty)]),
+            }
+        }
+        h.write(&[0xfe]);
+        for e in &s.dq {
+            match e {
+                DqEntry::Pending { addr } => h.write(&[1, *addr]),
+                DqEntry::Cleaning { addr, ticket } => h.write(&[2, *addr, *ticket]),
+            }
+        }
+        h.write(&[0xfd, s.dq_min_ack.unwrap_or(0xfc)]);
+        h.write(&s.nvm);
+        h.write(&s.oracle);
+        h.write(&[
+            s.maxline,
+            s.waterline,
+            s.interval_maxline,
+            s.interval_waterline,
+            s.next_ticket,
+            s.outstanding_wb,
+        ]);
+        Some(h.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{explore, run_path, Limits};
+
+    #[test]
+    fn faithful_model_smoke_holds() {
+        let out = explore(
+            &WriteBackModel::faithful(),
+            Limits {
+                max_depth: 6,
+                max_states: 50_000,
+            },
+        );
+        assert!(out.holds(), "{:?}", out.violation);
+        assert!(out.states > 1_000);
+        assert!(out.dedup_hits > 0, "crash transitions must dedup");
+    }
+
+    #[test]
+    fn racing_store_creates_redundant_entry_and_survives() {
+        // Store A, issue its cleaning (line marked clean before issue),
+        // store A again while the write-back is in flight: the line
+        // re-dirties and a second entry rides the queue. Crash at the
+        // worst moment and the oracle must still match.
+        let path = [Act::Store(0), Act::IssueCleaning, Act::Store(0), Act::Crash];
+        let end = run_path(&WriteBackModel::faithful(), &path).expect("no violation");
+        assert_eq!(end.nvm, end.oracle);
+        assert!(end.dq.is_empty());
+    }
+
+    #[test]
+    fn stale_entry_is_dropped_at_selection() {
+        // Store A (set 0), then store C (same set) to evict A: A's
+        // pending entry goes stale; selection must drop it and issue C.
+        let path = [Act::Store(0), Act::Store(2), Act::IssueCleaning];
+        let end = run_path(&WriteBackModel::faithful(), &path).expect("no violation");
+        // A was synchronously written back at eviction; C's async write
+        // landed at issue.
+        assert_eq!(end.nvm[0], end.oracle[0]);
+        assert_eq!(end.nvm[2], end.oracle[2]);
+        let cleanings = end
+            .dq
+            .iter()
+            .filter(|e| matches!(e, DqEntry::Cleaning { addr: 2, .. }))
+            .count();
+        assert_eq!(
+            cleanings, 1,
+            "C issued, A's stale entry dropped: {:?}",
+            end.dq
+        );
+    }
+
+    #[test]
+    fn every_mutation_is_caught_by_its_invariant() {
+        let cases = [
+            (Mutation::SkipJitFlush, "I1"),
+            (Mutation::SkipStaleDrop, "I1"),
+            (Mutation::OverfillQueue, "I2"),
+            (Mutation::SkipMinRecompute, "I3"),
+            (Mutation::LowerThresholdMidInterval, "I4"),
+            (Mutation::FreeSlotAtIssue, "I5"),
+        ];
+        for (m, inv) in cases {
+            let out = explore(
+                &WriteBackModel::mutated(m),
+                Limits {
+                    max_depth: 10,
+                    max_states: 200_000,
+                },
+            );
+            let v = out
+                .violation
+                .unwrap_or_else(|| panic!("{m:?} must produce a counterexample"));
+            assert!(
+                v.message.starts_with(inv),
+                "{m:?}: expected {inv} violation, got: {}",
+                v.message
+            );
+            assert!(!v.trace.is_empty(), "{m:?}: counterexample must have steps");
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Light lexical analysis of Rust source: comment/string blanking and
+//! `#[cfg(test)]` region tracking.
+//!
+//! The linter works on *blanked* source — a copy of the file in which
+//! the bodies of comments, string literals and char literals have been
+//! replaced by spaces, preserving line structure and byte offsets. Rules
+//! can then match tokens with plain substring/identifier scans without a
+//! doc comment saying "never use `Instant`" tripping the `Instant` ban.
+
+/// Returns `src` with comment and literal bodies replaced by spaces.
+///
+/// Handled: `//` line comments, nested `/* */` block comments, `"…"`
+/// strings with escapes, raw strings `r"…"` / `r#"…"#` (any number of
+/// hashes, with optional `b` prefix), and char literals (as opposed to
+/// lifetimes). Newlines are preserved so line numbers are unchanged.
+pub fn blank_non_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    // Pushes a blanked byte: newlines survive, everything else spaces.
+    fn push_blank(out: &mut Vec<u8>, c: u8) {
+        out.push(if c == b'\n' { b'\n' } else { b' ' });
+    }
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                push_blank(&mut out, b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    push_blank(&mut out, b[i]);
+                    push_blank(&mut out, b[i + 1]);
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    push_blank(&mut out, b[i]);
+                    push_blank(&mut out, b[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    push_blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string: r"…", r#"…"#, br"…", …
+        if (c == b'r' || c == b'b') && !prev_is_ident(&out) {
+            let mut j = i;
+            if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+                j += 1;
+            }
+            if b[j] == b'r' {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < b.len() && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'"' {
+                    // Copy the prefix verbatim, blank the body.
+                    for &p in &b[i..=k] {
+                        out.push(p);
+                    }
+                    i = k + 1;
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut h = 0usize;
+                            while h < hashes && i + 1 + h < b.len() && b[i + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                for &p in &b[i..i + 1 + hashes] {
+                                    out.push(p);
+                                }
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        push_blank(&mut out, b[i]);
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Plain string (with an optional byte prefix already consumed
+        // above only for raw strings; `b"…"` lands here via the `"`).
+        if c == b'"' {
+            out.push(c);
+            i += 1;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    push_blank(&mut out, b[i]);
+                    push_blank(&mut out, b[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    out.push(b[i]);
+                    i += 1;
+                    break;
+                }
+                push_blank(&mut out, b[i]);
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a (no
+        // closing quote nearby) is a lifetime and is left untouched.
+        if c == b'\'' && !prev_is_ident(&out) {
+            let lit_len = if i + 2 < b.len() && b[i + 1] == b'\\' {
+                // '\n', '\u{…}' — find the closing quote within reason.
+                b[i + 2..b.len().min(i + 12)]
+                    .iter()
+                    .position(|&x| x == b'\'')
+                    .map(|p| p + 3)
+            } else if i + 2 < b.len() && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                Some(3)
+            } else {
+                None
+            };
+            if let Some(n) = lit_len {
+                out.push(b'\'');
+                for &p in &b[i + 1..i + n - 1] {
+                    push_blank(&mut out, p);
+                }
+                out.push(b'\'');
+                i += n;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    // Blanking only substitutes ASCII bytes for ASCII bytes inside
+    // literal bodies it fully consumed; multi-byte UTF-8 survives only
+    // outside literals, where it is copied verbatim.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Whether the last emitted byte continues an identifier (used to tell
+/// `r"…"` from an identifier ending in `r`, and `'a` from `b'c'`).
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+}
+
+/// Per-line flags: `true` for lines inside a `#[cfg(test)]`-gated item
+/// (typically `mod tests { … }`). Operates on *blanked* source.
+pub fn test_region_lines(blanked: &str) -> Vec<bool> {
+    let n_lines = blanked.lines().count();
+    let mut mask = vec![false; n_lines];
+    let bytes = blanked.as_bytes();
+    // Byte offset -> line index.
+    let mut line_of = Vec::with_capacity(bytes.len() + 1);
+    let mut ln = 0usize;
+    for &c in bytes {
+        line_of.push(ln);
+        if c == b'\n' {
+            ln += 1;
+        }
+    }
+    line_of.push(ln);
+
+    let needle = b"#[cfg(test)]";
+    let mut from = 0usize;
+    while let Some(pos) = find_from(bytes, needle, from) {
+        from = pos + needle.len();
+        // Scan forward to the gated item's opening brace; a `;` first
+        // means the attribute gates a braceless item (empty region).
+        let mut j = from;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    open = Some(j);
+                    break;
+                }
+                b';' => break,
+                _ => j += 1,
+            }
+        }
+        let Some(start) = open else { continue };
+        // Match braces to the region's end.
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        let mut k = start;
+        while k < bytes.len() {
+            match bytes[k] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let (l0, l1) = (line_of[pos], line_of[end.min(bytes.len())]);
+        for m in mask.iter_mut().take(n_lines.min(l1 + 1)).skip(l0) {
+            *m = true;
+        }
+    }
+    mask
+}
+
+fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= hay.len() || needle.is_empty() {
+        return None;
+    }
+    hay[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Whether `line` contains `word` as a standalone identifier (not as a
+/// substring of a longer identifier). Intended for blanked lines.
+pub fn has_ident(line: &str, word: &str) -> bool {
+    let b = line.as_bytes();
+    let w = word.as_bytes();
+    let mut from = 0usize;
+    while let Some(p) = find_from(b, w, from) {
+        let before_ok = p == 0 || !(b[p - 1].is_ascii_alphanumeric() || b[p - 1] == b'_');
+        let after = p + w.len();
+        let after_ok = after >= b.len() || !(b[after].is_ascii_alphanumeric() || b[after] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = p + 1;
+    }
+    false
+}
+
+/// Whether the blanked line contains a floating-point literal token
+/// (`3.3`, `1e-6`, `2.5e9`, `1f64`, `0.0f32`). Integer literals,
+/// `div_ceil`-style identifiers and range `..` punctuation do not count.
+pub fn has_float_literal(line: &str) -> bool {
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i].is_ascii_digit() {
+            // Skip if this digit continues an identifier (e.g. `rf3`).
+            if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                continue;
+            }
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+            // `1.5` but not `1..4` (range) and not `1.method()`.
+            if i < b.len()
+                && b[i] == b'.'
+                && i + 1 < b.len()
+                && b[i + 1].is_ascii_digit()
+                && !(i + 1 < b.len() && b[i + 1] == b'.')
+            {
+                return true;
+            }
+            // Exponent form: `1e6`, `1E-6`.
+            if i < b.len()
+                && (b[i] == b'e' || b[i] == b'E')
+                && i + 1 < b.len()
+                && (b[i + 1].is_ascii_digit()
+                    || ((b[i + 1] == b'+' || b[i + 1] == b'-')
+                        && i + 2 < b.len()
+                        && b[i + 2].is_ascii_digit()))
+            {
+                return true;
+            }
+            // Float-suffixed: `1f64`.
+            if line[i..].starts_with("f64") || line[i..].starts_with("f32") {
+                return true;
+            }
+            let _ = start;
+            continue;
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_and_block_comments() {
+        let src = "let x = 1; // Instant here\n/* SystemTime\n spans lines */ let y = 2;\n";
+        let out = blank_non_code(src);
+        assert!(!out.contains("Instant"));
+        assert!(!out.contains("SystemTime"));
+        assert!(out.contains("let x = 1;"));
+        assert!(out.contains("let y = 2;"));
+        assert_eq!(out.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn blanks_nested_block_comments() {
+        let out = blank_non_code("/* outer /* inner */ HashMap */ keep");
+        assert!(!out.contains("HashMap"));
+        assert!(out.contains("keep"));
+    }
+
+    #[test]
+    fn blanks_strings_but_keeps_quotes() {
+        let out = blank_non_code("call(\"unwrap() inside\"); x.unwrap();");
+        assert!(out.contains("x.unwrap();"));
+        assert!(out.contains("call(\""));
+        assert_eq!(out.matches("unwrap").count(), 1);
+    }
+
+    #[test]
+    fn blanks_escaped_quotes_and_raw_strings() {
+        let out = blank_non_code(r#"a("quote \" HashSet"); b(r#x#); "#);
+        assert!(!out.contains("HashSet"));
+        let out = blank_non_code("let s = r#\"raw f32 body\"#; f32_tok");
+        assert!(!out.contains("raw f32 body"));
+        assert!(out.contains("f32_tok"));
+    }
+
+    #[test]
+    fn char_literals_blanked_lifetimes_kept() {
+        let out = blank_non_code("let c = 'x'; fn f<'a>(v: &'a str) {}");
+        assert!(!out.contains('x'));
+        assert!(out.contains("<'a>"));
+        assert!(out.contains("&'a str"));
+        let out = blank_non_code("let nl = '\\n'; let q = '\\'';");
+        assert!(!out.contains("\\n"));
+    }
+
+    #[test]
+    fn test_region_covers_cfg_test_mod() {
+        let src = "fn lib() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { b.unwrap(); }\n}\nfn tail() {}\n";
+        let blanked = blank_non_code(src);
+        let mask = test_region_lines(&blanked);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_is_empty_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn f() { x.unwrap() }\n";
+        let mask = test_region_lines(&blank_non_code(src));
+        assert!(!mask[2], "the fn after a gated use must stay lintable");
+    }
+
+    #[test]
+    fn ident_matching_is_boundary_aware() {
+        assert!(has_ident("use std::time::Instant;", "Instant"));
+        assert!(!has_ident("/// Instantaneous power", "Instant"));
+        assert!(!has_ident("let rng = thread_rng_like();", "thread_rng"));
+        assert!(has_ident("rand::thread_rng()", "thread_rng"));
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        assert!(has_float_literal("let x = (dur_us * 1e6) as Ps;"));
+        assert!(has_float_literal("let v = 3.3;"));
+        assert!(has_float_literal("let v = 2.5e9;"));
+        assert!(!has_float_literal("let lines = n.div_ceil(64) as usize;"));
+        assert!(!has_float_literal("for i in 1..4 {}"));
+        assert!(!has_float_literal("let t = rf3_trace();"));
+    }
+}

@@ -1,0 +1,10 @@
+// Wall-clock and OS randomness in a deterministic crate (triggers L002).
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn stamp() -> u64 {
+    let _t0 = Instant::now();
+    let _wall = SystemTime::now();
+    let _r = rand::thread_rng();
+    0
+}

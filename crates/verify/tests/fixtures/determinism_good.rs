@@ -1,0 +1,10 @@
+//! Mentions of Instant and SystemTime in comments and strings only, and
+//! an identifier that merely *contains* the banned word — none of which
+//! may trigger L002.
+
+/// Instantaneous power draw (the word "Instant" hides in here twice).
+pub fn instantaneous_power() -> &'static str {
+    "SystemTime is only named inside this string literal"
+}
+
+pub struct InstantaneousReading(pub u64);

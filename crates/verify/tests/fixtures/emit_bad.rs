@@ -1,0 +1,9 @@
+// An observer emission with no enabled() guard in sight (triggers L005).
+pub fn record(obs: &mut Sink, at: u64) {
+    obs.emit(at);
+}
+
+pub struct Sink;
+impl Sink {
+    pub fn emit(&mut self, _at: u64) {}
+}

@@ -1,0 +1,14 @@
+//! Emission sites guarded by `enabled()` within the window (no L005).
+pub fn record(obs: &mut Sink, at: u64) {
+    if obs.enabled() {
+        obs.emit(at);
+    }
+}
+
+pub struct Sink;
+impl Sink {
+    pub fn enabled(&self) -> bool {
+        false
+    }
+    pub fn emit(&mut self, _at: u64) {}
+}

@@ -1,0 +1,8 @@
+// f32 arithmetic and an unrounded float->int cast in a timing crate
+// (triggers L006 twice).
+pub type Ps = u64;
+
+pub fn seg(dur_us: f64) -> Ps {
+    let _narrow: f32 = 1.5;
+    (dur_us * 1e6) as Ps
+}

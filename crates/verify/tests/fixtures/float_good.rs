@@ -1,0 +1,11 @@
+//! f64 arithmetic with explicit rounding before narrowing, and integer
+//! helpers that merely *look* floaty (no L006).
+pub type Ps = u64;
+
+pub fn seg(dur_us: f64) -> Ps {
+    (dur_us * 1e6).round() as Ps
+}
+
+pub fn lines(bytes: u64) -> u64 {
+    bytes.div_ceil(64)
+}

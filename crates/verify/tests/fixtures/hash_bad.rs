@@ -1,0 +1,8 @@
+// Hash collections outside crates/bench (triggers L003 twice).
+use std::collections::HashMap;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let set: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    let _m: HashMap<u32, u32> = HashMap::new();
+    set.len()
+}

@@ -1,0 +1,9 @@
+//! Ordered collections keep iteration deterministic (no L003).
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn tally(xs: &[u32]) -> usize {
+    let set: BTreeSet<u32> = xs.iter().copied().collect();
+    let _m: BTreeMap<u32, u32> = BTreeMap::new();
+    set.len()
+}

@@ -1,0 +1,18 @@
+//! unwrap() is fine inside `#[cfg(test)]`, as are the non-panicking
+//! `unwrap_or` family and the word in comments/strings (no L004).
+
+pub fn first(xs: &[u32]) -> u32 {
+    // calling .unwrap() here would panic — so we don't
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v = super::first(&[1]);
+        assert_eq!(Some(v), [1u32].first().copied().map(|x| x));
+        let s: Option<u32> = Some(3);
+        s.unwrap();
+    }
+}

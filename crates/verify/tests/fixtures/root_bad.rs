@@ -1,0 +1,3 @@
+//! A crate root missing both required attributes (triggers L001, L007).
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! A well-formed crate root (no L001/L007 findings).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn noop() {}

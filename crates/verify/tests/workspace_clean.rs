@@ -1,0 +1,53 @@
+//! The real workspace must lint deny-clean: zero unallowlisted
+//! findings, and every `verify-allow.toml` entry still earning its
+//! keep. Running this inside `cargo test` makes the lint part of
+//! tier-1, not just of the CI `verify` job.
+
+use ehsim_verify::allow::Allowlist;
+use ehsim_verify::lint::lint_workspace;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/verify -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/verify has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_deny_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("verify-allow.toml").is_file(),
+        "allowlist missing at {}",
+        root.display()
+    );
+    let mut allow = Allowlist::load(&root).expect("allowlist parses");
+    let report = lint_workspace(&root, &mut allow).expect("workspace lints");
+    assert!(
+        report.files > 80,
+        "walker lost files: saw only {}",
+        report.files
+    );
+
+    let denied: Vec<String> = report.denied().map(|f| f.to_string()).collect();
+    assert!(
+        denied.is_empty(),
+        "lint findings not covered by verify-allow.toml:\n{}",
+        denied.join("\n")
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale allowlist entries (fix the entry or delete it):\n{}",
+        report.stale_allows.join("\n")
+    );
+    // The allowlist documents real, deliberate exceptions — it should
+    // shrink over time, never silently balloon.
+    let allowed = report.findings.iter().filter(|f| f.allowed).count();
+    assert!(
+        allowed <= 16,
+        "{allowed} allowlisted findings — time to fix some instead of excusing them"
+    );
+}

@@ -76,8 +76,27 @@ fn exported_trace_json_is_valid_and_counts_match() {
     // One TSV row per completed power-on interval plus the final
     // partial interval closed by RunEnd (and one header line).
     let tsv = trace.interval_metrics_tsv();
-    let rows = tsv.lines().count() - 1;
+    let rows = tsv.lines().filter(|l| !l.starts_with('#')).count() - 1;
     assert_eq!(rows as u64, report.outages + 1);
+
+    // The `#` footer renders all three run-wide histograms, and the
+    // outage-interval one reconciles with the report.
+    let outage_summary = tsv
+        .lines()
+        .find(|l| l.starts_with("# histogram\toutage_interval_ps"))
+        .expect("histogram footer present");
+    assert!(
+        outage_summary.contains(&format!("count={}", report.outages)),
+        "footer disagrees with report ({} outages): {outage_summary}",
+        report.outages
+    );
+    for name in ["dirty_at_checkpoint", "writeback_latency_ps"] {
+        assert!(
+            tsv.lines()
+                .any(|l| l.starts_with(&format!("# histogram\t{name}"))),
+            "missing {name} summary in footer"
+        );
+    }
 }
 
 #[test]
