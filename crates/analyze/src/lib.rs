@@ -1,0 +1,41 @@
+//! Trace analysis for the WL-Cache energy-harvesting simulator: turns
+//! recorded timelines into answers.
+//!
+//! The observability layer records *what happened*; this crate answers
+//! *so what*. It has four parts:
+//!
+//! * **Trace model** — [`Run`] / [`Span`] / interval rows, loadable
+//!   from every format the simulator writes: Chrome `trace_event` JSON
+//!   (`--trace-out`), streamed JSON-lines (`--stream-out`, the
+//!   `StreamingObserver`), and the per-interval metrics TSV
+//!   (`--metrics-out`). Formats are auto-detected by [`Run::parse`].
+//! * **Cross-run diffing** — [`diff_runs`] aligns two runs by power-on
+//!   interval and reports the first divergence (outage timing,
+//!   dirty-at-checkpoint counts, threshold/DynRaise state) plus a
+//!   summary table; `ehsim-cli diff-traces` is the command-line front
+//!   end. A/B-ing a cache-policy change is one command.
+//! * **Voltage trajectory export** — [`voltage_tsv`] / [`voltage_svg`]
+//!   render the opt-in capacitor-voltage samples as data or as a
+//!   self-contained Fig-1-style chart (`ehsim-cli voltage-plot`).
+//! * **Streamed-trace reading** — [`Run::from_jsonl`] converts a
+//!   constant-memory streamed capture back into the same model, so
+//!   diffing and conversion work identically on streamed traces
+//!   (`ehsim-cli convert-trace`).
+//!
+//! Loaders rebuild counters/histograms/intervals by replaying the
+//! reconstructed timeline through the live `Recorder` code paths, so a
+//! lossless source (JSONL) reconciles bit-for-bit with the recording
+//! that produced it; the per-format fidelity caveats are documented on
+//! [`Run`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod diff;
+mod model;
+mod plot;
+
+pub use diff::{diff_runs, render_diff, DiffReport, Divergence, FieldDiff, ThresholdState};
+pub use model::{Run, SourceFormat, Span};
+pub use plot::{voltage_svg, voltage_tsv};

@@ -1,0 +1,200 @@
+//! Voltage trajectory export: TSV and a small self-contained SVG in the
+//! style of the paper's Fig 1 (capacitor voltage over time with the
+//! named rails overlaid).
+
+use ehsim_mem::Ps;
+use std::fmt::Write as _;
+
+/// Renders a voltage series as two-column TSV (`t_ps`, `volts`).
+/// Voltages print with shortest round-trip formatting, so reloading the
+/// TSV recovers bit-identical values.
+pub fn voltage_tsv(series: &[(Ps, f64)]) -> String {
+    let mut out = String::with_capacity(series.len() * 24 + 16);
+    out.push_str("t_ps\tvolts\n");
+    for &(t, v) in series {
+        let _ = writeln!(out, "{t}\t{v}");
+    }
+    out
+}
+
+fn escape_xml(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a voltage series as a self-contained SVG line chart.
+///
+/// `rails` overlays labelled horizontal threshold lines (e.g.
+/// `[(3.0, "Von"), (2.9, "Vbackup"), (2.8, "Vmin")]`), mirroring the
+/// paper's Fig 1. The output embeds no external resources and opens in
+/// any browser.
+pub fn voltage_svg(series: &[(Ps, f64)], title: &str, rails: &[(f64, &str)]) -> String {
+    const W: f64 = 840.0;
+    const H: f64 = 320.0;
+    const ML: f64 = 64.0; // left margin (voltage axis)
+    const MR: f64 = 16.0;
+    const MT: f64 = 28.0; // top margin (title)
+    const MB: f64 = 40.0; // bottom margin (time axis)
+
+    let mut svg = String::with_capacity(series.len() * 12 + 2048);
+    let _ = writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
+         viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\" font-size=\"11\">"
+    );
+    let _ = writeln!(
+        svg,
+        "<rect width=\"{W}\" height=\"{H}\" fill=\"white\"/>\
+         <text x=\"{}\" y=\"18\" text-anchor=\"middle\" font-size=\"13\">{}</text>",
+        W / 2.0,
+        escape_xml(title)
+    );
+
+    if series.is_empty() {
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" fill=\"#888\">\
+             no voltage samples (run with voltage sampling enabled)</text></svg>",
+            W / 2.0,
+            H / 2.0
+        );
+        return svg;
+    }
+
+    let t0 = series.first().map_or(0, |&(t, _)| t) as f64;
+    let t1 = series.last().map_or(1, |&(t, _)| t) as f64;
+    let t_span = (t1 - t0).max(1.0);
+    let mut v_lo = f64::INFINITY;
+    let mut v_hi = f64::NEG_INFINITY;
+    for &(_, v) in series {
+        v_lo = v_lo.min(v);
+        v_hi = v_hi.max(v);
+    }
+    for &(v, _) in rails {
+        v_lo = v_lo.min(v);
+        v_hi = v_hi.max(v);
+    }
+    let pad = ((v_hi - v_lo) * 0.05).max(0.01);
+    v_lo -= pad;
+    v_hi += pad;
+    let v_span = v_hi - v_lo;
+
+    let x = |t: f64| ML + (t - t0) / t_span * (W - ML - MR);
+    let y = |v: f64| H - MB - (v - v_lo) / v_span * (H - MT - MB);
+
+    // Axes.
+    let _ = writeln!(
+        svg,
+        "<line x1=\"{ML}\" y1=\"{MT}\" x2=\"{ML}\" y2=\"{}\" stroke=\"#444\"/>\
+         <line x1=\"{ML}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#444\"/>",
+        H - MB,
+        H - MB,
+        W - MR,
+        H - MB
+    );
+    // Voltage ticks (4 divisions).
+    for i in 0..=4 {
+        let v = v_lo + v_span * f64::from(i) / 4.0;
+        let yy = y(v);
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{}\" y1=\"{yy:.1}\" x2=\"{ML}\" y2=\"{yy:.1}\" stroke=\"#444\"/>\
+             <text x=\"{}\" y=\"{:.1}\" text-anchor=\"end\">{v:.2} V</text>",
+            ML - 4.0,
+            ML - 7.0,
+            yy + 4.0
+        );
+    }
+    // Time ticks (start / middle / end, in ms).
+    for (frac, anchor) in [(0.0, "start"), (0.5, "middle"), (1.0, "end")] {
+        let t = t0 + t_span * frac;
+        let xx = x(t);
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{xx:.1}\" y1=\"{}\" x2=\"{xx:.1}\" y2=\"{}\" stroke=\"#444\"/>\
+             <text x=\"{xx:.1}\" y=\"{}\" text-anchor=\"{anchor}\">{:.3} ms</text>",
+            H - MB,
+            H - MB + 4.0,
+            H - MB + 18.0,
+            t / 1e9
+        );
+    }
+    // Rails.
+    for &(v, label) in rails {
+        let yy = y(v);
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{ML}\" y1=\"{yy:.1}\" x2=\"{}\" y2=\"{yy:.1}\" \
+             stroke=\"#c44\" stroke-dasharray=\"5,4\"/>\
+             <text x=\"{}\" y=\"{:.1}\" text-anchor=\"end\" fill=\"#c44\">{}</text>",
+            W - MR,
+            W - MR - 2.0,
+            yy - 3.0,
+            escape_xml(label)
+        );
+    }
+    // The trajectory itself.
+    svg.push_str("<polyline fill=\"none\" stroke=\"#26c\" stroke-width=\"1.2\" points=\"");
+    for &(t, v) in series {
+        let _ = write!(svg, "{:.1},{:.1} ", x(t as f64), y(v));
+    }
+    svg.push_str("\"/>\n</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_round_trips_voltages_exactly() {
+        let series = vec![(0u64, 3.3), (1_000_000, 2.951_172_5), (2_000_000, 2.8)];
+        let tsv = voltage_tsv(&series);
+        let mut lines = tsv.lines();
+        assert_eq!(lines.next(), Some("t_ps\tvolts"));
+        for (&(t, v), line) in series.iter().zip(lines) {
+            let (ts, vs) = line.split_once('\t').unwrap();
+            assert_eq!(ts.parse::<u64>().unwrap(), t);
+            assert_eq!(vs.parse::<f64>().unwrap(), v, "exact f64 round-trip");
+        }
+    }
+
+    #[test]
+    fn svg_renders_series_and_rails() {
+        let series: Vec<(u64, f64)> = (0u32..100)
+            .map(|i| {
+                (
+                    u64::from(i) * 1_000_000,
+                    2.8 + 0.5 * f64::from(i % 10) / 10.0,
+                )
+            })
+            .collect();
+        let svg = voltage_svg(
+            &series,
+            "sha / WL-Cache <rf1>",
+            &[(3.0, "Von"), (2.9, "Vbackup")],
+        );
+        assert!(svg.starts_with("<svg "));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("Vbackup"));
+        assert!(svg.contains("&lt;rf1&gt;"), "title is XML-escaped");
+        assert_eq!(svg.matches("stroke-dasharray").count(), 2);
+    }
+
+    #[test]
+    fn empty_series_renders_a_placeholder() {
+        let svg = voltage_svg(&[], "empty", &[]);
+        assert!(svg.contains("no voltage samples"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+}

@@ -33,11 +33,12 @@
 //!
 //! Setting `EHSIM_TRACE_WORKLOAD=<name>` additionally records an event
 //! timeline for every simulation of that workload: each one dumps a
-//! Chrome `trace_event` JSON and a per-interval metrics TSV into
-//! `EHSIM_TRACE_DIR` (default `traces/`), named
-//! `<workload>__<design>__<trace>`. Recording does not change any
-//! simulated value, so figures regenerated with tracing on are
-//! byte-identical.
+//! Chrome `trace_event` JSON, a per-interval metrics TSV, and a
+//! JSON-lines event stream (loadable by `ehsim-analyze` /
+//! `ehsim-cli diff-traces`) into `EHSIM_TRACE_DIR` (default
+//! `traces/`), named `<workload>__<design>__<trace>`. Recording does
+//! not change any simulated value, so figures regenerated with tracing
+//! on are byte-identical.
 
 use ehsim::{DesignKind, Report, SimConfig, Simulator};
 use ehsim_cache::ReplacementPolicy;
@@ -289,9 +290,10 @@ fn sanitize(label: &str) -> String {
         .collect()
 }
 
-/// Dumps the Chrome trace and interval metrics for one traced
-/// simulation into `EHSIM_TRACE_DIR` (default `traces/`). Export
-/// failures only warn: a sweep must not die over a timeline.
+/// Dumps the Chrome trace, interval metrics, and JSONL event stream
+/// for one traced simulation into `EHSIM_TRACE_DIR` (default
+/// `traces/`). Export failures only warn: a sweep must not die over a
+/// timeline.
 fn dump_trace(job: &Job, report: &Report, trace: &ehsim::RunTrace) {
     let dir = std::env::var("EHSIM_TRACE_DIR").unwrap_or_else(|_| "traces".into());
     let stem = format!(
@@ -311,7 +313,8 @@ fn dump_trace(job: &Job, report: &Report, trace: &ehsim::RunTrace) {
         std::fs::write(
             dir.join(format!("{stem}.intervals.tsv")),
             trace.interval_metrics_tsv(),
-        )
+        )?;
+        std::fs::write(dir.join(format!("{stem}.events.jsonl")), trace.jsonl())
     };
     if let Err(e) = write() {
         eprintln!(

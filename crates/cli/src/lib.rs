@@ -33,8 +33,40 @@ pub enum Command {
     /// Structurally validate a Chrome trace JSON written by
     /// `--trace-out`.
     ValidateTrace(String),
+    /// Diff two recorded traces (any format `ehsim-analyze` loads),
+    /// reporting the first diverging power-on interval.
+    DiffTraces(String, String),
+    /// Run one workload with voltage sampling and export the capacitor
+    /// trajectory as TSV and/or SVG.
+    VoltagePlot(PlotOptions),
+    /// Convert a recorded trace (typically a streamed JSONL capture)
+    /// into Chrome trace JSON.
+    ConvertTrace(ConvertOptions),
     /// Print usage.
     Help,
+}
+
+/// Options for `voltage-plot`: a normal run plus export destinations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlotOptions {
+    /// The run to sample (workload/design/trace flags as for `run`).
+    pub run: RunOptions,
+    /// Write the trajectory as two-column TSV here.
+    pub tsv_out: Option<String>,
+    /// Write the trajectory as a self-contained SVG chart here.
+    pub svg_out: Option<String>,
+}
+
+/// Options for `convert-trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvertOptions {
+    /// Input trace path (JSONL stream or Chrome JSON).
+    pub input: String,
+    /// Output Chrome trace JSON path.
+    pub output: String,
+    /// Process name for the converted trace (defaults to the source's
+    /// name, or the input path).
+    pub name: Option<String>,
 }
 
 /// Options shared by `run` and `compare`.
@@ -70,6 +102,9 @@ pub struct RunOptions {
     pub trace_out: Option<String>,
     /// Write per-power-interval metrics TSV here (`run` only).
     pub metrics_out: Option<String>,
+    /// Stream events incrementally as JSON-lines to this path
+    /// (`run` only; constant memory, unlike `--trace-out`).
+    pub stream_out: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -90,6 +125,7 @@ impl Default for RunOptions {
             verify: false,
             trace_out: None,
             metrics_out: None,
+            stream_out: None,
         }
     }
 }
@@ -101,6 +137,9 @@ ehsim-cli — WL-Cache energy-harvesting simulator
 USAGE:
   ehsim-cli run     --workload <name> [--design <d>] [--trace <t>] [options]
   ehsim-cli compare --workload <name> [--trace <t>] [options]
+  ehsim-cli voltage-plot --workload <name> [--tsv-out <p>] [--svg-out <p>] [options]
+  ehsim-cli diff-traces <a> <b>
+  ehsim-cli convert-trace <in.jsonl> <out.json> [--name <s>]
   ehsim-cli validate-trace <path>
   ehsim-cli list
   ehsim-cli help
@@ -122,6 +161,11 @@ OPTIONS:
   --trace-out <path>    write a Chrome trace_event JSON timeline
                         (open in chrome://tracing or ui.perfetto.dev)
   --metrics-out <path>  write per-power-interval metrics as TSV
+  --stream-out <path>   stream events as JSON-lines while running
+                        (constant memory; reload with diff-traces or
+                        convert-trace)
+  --tsv-out <path>      voltage-plot: write the trajectory as TSV
+  --svg-out <path>      voltage-plot: write the trajectory as SVG
 ";
 
 /// Parses a command line (without the binary name).
@@ -141,8 +185,38 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             Some(path) => Ok(Command::ValidateTrace(path.clone())),
             None => Err("validate-trace needs a file path".into()),
         },
-        "run" | "compare" => {
+        "diff-traces" => match (args.get(1), args.get(2)) {
+            (Some(a), Some(b)) => Ok(Command::DiffTraces(a.clone(), b.clone())),
+            _ => Err("diff-traces needs two trace paths".into()),
+        },
+        "convert-trace" => {
+            let (Some(input), Some(output)) = (args.get(1), args.get(2)) else {
+                return Err("convert-trace needs an input and an output path".into());
+            };
+            let mut name = None;
+            let mut it = args[3..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--name" => {
+                        name = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| "--name needs a value".to_string())?,
+                        )
+                    }
+                    other => return Err(format!("unknown flag '{other}'")),
+                }
+            }
+            Ok(Command::ConvertTrace(ConvertOptions {
+                input: input.clone(),
+                output: output.clone(),
+                name,
+            }))
+        }
+        "run" | "compare" | "voltage-plot" => {
             let mut opt = RunOptions::default();
+            let mut tsv_out = None;
+            let mut svg_out = None;
             let mut it = args[1..].iter();
             while let Some(flag) = it.next() {
                 let mut value = |name: &str| {
@@ -209,13 +283,24 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     "--verify" => opt.verify = true,
                     "--trace-out" => opt.trace_out = Some(value("--trace-out")?),
                     "--metrics-out" => opt.metrics_out = Some(value("--metrics-out")?),
+                    "--stream-out" => opt.stream_out = Some(value("--stream-out")?),
+                    "--tsv-out" if cmd == "voltage-plot" => {
+                        tsv_out = Some(value("--tsv-out")?);
+                    }
+                    "--svg-out" if cmd == "voltage-plot" => {
+                        svg_out = Some(value("--svg-out")?);
+                    }
                     other => return Err(format!("unknown flag '{other}'")),
                 }
             }
-            if cmd == "run" {
-                Ok(Command::Run(opt))
-            } else {
-                Ok(Command::Compare(opt))
+            match cmd.as_str() {
+                "run" => Ok(Command::Run(opt)),
+                "compare" => Ok(Command::Compare(opt)),
+                _ => Ok(Command::VoltagePlot(PlotOptions {
+                    run: opt,
+                    tsv_out,
+                    svg_out,
+                })),
             }
         }
         other => Err(format!("unknown command '{other}' (try `help`)")),
@@ -379,6 +464,45 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
             let cfg = config_of(opt)?;
             let w = workload_of(&opt.workload, opt.scale)?;
             let sim = Simulator::new(cfg);
+            if let Some(stream_path) = &opt.stream_out {
+                let obs = ehsim_obs::StreamingObserver::to_path(std::path::Path::new(stream_path))
+                    .map_err(|e| format!("--stream-out {stream_path}: {e}"))?;
+                let stats = obs.stats_handle();
+                let (r, _machine) = sim
+                    .run_with(w.as_ref(), ehsim_obs::ObserverBox::custom(obs))
+                    .map_err(|e| e.to_string())?;
+                let mut s = render_report(&r);
+                let snap = stats
+                    .lock()
+                    .map_err(|_| "stream stats poisoned".to_string())?
+                    .clone();
+                if let Some(err) = &snap.io_error {
+                    return Err(format!("--stream-out {stream_path}: {err}"));
+                }
+                let _ = writeln!(
+                    s,
+                    "stream        {stream_path} ({} events, peak buffer {})",
+                    snap.events, snap.peak_buffered
+                );
+                // Chrome/TSV exports are derived from the streamed
+                // capture itself, proving the JSONL is self-sufficient.
+                if opt.trace_out.is_some() || opt.metrics_out.is_some() {
+                    let run = ehsim_analyze::Run::load(stream_path)?;
+                    let trace = run.to_trace();
+                    if let Some(path) = &opt.trace_out {
+                        let name = format!("{} / {} / {}", r.workload, r.design, r.trace);
+                        std::fs::write(path, trace.chrome_trace(&name))
+                            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+                        let _ = writeln!(s, "trace         {path} ({} events)", trace.events.len());
+                    }
+                    if let Some(path) = &opt.metrics_out {
+                        std::fs::write(path, trace.interval_metrics_tsv())
+                            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+                        let _ = writeln!(s, "metrics       {path}");
+                    }
+                }
+                return Ok(s);
+            }
             let observe = opt.trace_out.is_some() || opt.metrics_out.is_some();
             if !observe {
                 let r = sim.run(w.as_ref()).map_err(|e| e.to_string())?;
@@ -398,6 +522,71 @@ pub fn execute(cmd: &Command) -> Result<String, String> {
                 let _ = writeln!(s, "metrics       {path}");
             }
             Ok(s)
+        }
+        Command::DiffTraces(a_path, b_path) => {
+            let a = ehsim_analyze::Run::load(a_path)?;
+            let b = ehsim_analyze::Run::load(b_path)?;
+            let report = ehsim_analyze::diff_runs(&a, a_path, &b, b_path);
+            Ok(ehsim_analyze::render_diff(&report, &a, &b))
+        }
+        Command::VoltagePlot(plot) => {
+            let opt = &plot.run;
+            let cfg = config_of(opt)?;
+            let w = workload_of(&opt.workload, opt.scale)?;
+            let (r, mut machine) = Simulator::new(cfg)
+                .run_with(w.as_ref(), ehsim_obs::ObserverBox::recording_sampled())
+                .map_err(|e| e.to_string())?;
+            let th = machine.voltage_thresholds();
+            let rails = [
+                (th.v_on, "Von"),
+                (th.v_backup, "Vbackup"),
+                (th.v_min, "Vmin"),
+            ];
+            let end = machine.now();
+            let trace = machine.take_observer().into_trace(end);
+            let series = trace.voltage_series();
+            let mut s = render_report(&r);
+            let _ = writeln!(s, "samples       {} voltage points", series.len());
+            if let Some(path) = &plot.tsv_out {
+                std::fs::write(path, ehsim_analyze::voltage_tsv(&series))
+                    .map_err(|e| format!("--tsv-out {path}: {e}"))?;
+                let _ = writeln!(s, "voltage tsv   {path}");
+            }
+            if let Some(path) = &plot.svg_out {
+                let title = format!(
+                    "{} / {} / {} — capacitor voltage",
+                    r.workload, r.design, r.trace
+                );
+                std::fs::write(path, ehsim_analyze::voltage_svg(&series, &title, &rails))
+                    .map_err(|e| format!("--svg-out {path}: {e}"))?;
+                let _ = writeln!(s, "voltage svg   {path}");
+            }
+            Ok(s)
+        }
+        Command::ConvertTrace(conv) => {
+            let run = ehsim_analyze::Run::load(&conv.input)?;
+            if run.events.is_empty() {
+                return Err(format!(
+                    "{}: no events to convert (interval-metrics TSV carries \
+                     no timeline; convert a JSONL stream or Chrome JSON)",
+                    conv.input
+                ));
+            }
+            let name = conv
+                .name
+                .clone()
+                .or_else(|| run.name.clone())
+                .unwrap_or_else(|| conv.input.clone());
+            let trace = run.to_trace();
+            let json = trace.chrome_trace(&name);
+            std::fs::write(&conv.output, &json).map_err(|e| format!("{}: {e}", conv.output))?;
+            Ok(format!(
+                "{} ({}) -> {} ({} events)\n",
+                conv.input,
+                run.source.label(),
+                conv.output,
+                trace.events.len()
+            ))
         }
         Command::Compare(opt) => {
             let w = workload_of(&opt.workload, opt.scale)?;
@@ -549,6 +738,104 @@ mod tests {
         assert!(execute(&Command::ValidateTrace("/nonexistent.json".into())).is_err());
         let _ = std::fs::remove_file(&trace_path);
         let _ = std::fs::remove_file(&metrics_path);
+    }
+
+    #[test]
+    fn parses_analysis_subcommands() {
+        assert_eq!(
+            parse(&argv("diff-traces a.json b.jsonl")).unwrap(),
+            Command::DiffTraces("a.json".into(), "b.jsonl".into())
+        );
+        assert!(parse(&argv("diff-traces only-one")).is_err());
+        let Command::ConvertTrace(conv) =
+            parse(&argv("convert-trace in.jsonl out.json --name sha/wl")).unwrap()
+        else {
+            panic!("expected convert-trace");
+        };
+        assert_eq!(conv.input, "in.jsonl");
+        assert_eq!(conv.output, "out.json");
+        assert_eq!(conv.name.as_deref(), Some("sha/wl"));
+        assert!(parse(&argv("convert-trace in.jsonl")).is_err());
+        let Command::VoltagePlot(plot) = parse(&argv(
+            "voltage-plot --workload sha --trace rf1 --tsv-out v.tsv --svg-out v.svg",
+        ))
+        .unwrap() else {
+            panic!("expected voltage-plot");
+        };
+        assert_eq!(plot.run.workload, "sha");
+        assert_eq!(plot.tsv_out.as_deref(), Some("v.tsv"));
+        assert_eq!(plot.svg_out.as_deref(), Some("v.svg"));
+        // --tsv-out is voltage-plot-only.
+        assert!(parse(&argv("run --tsv-out x.tsv")).is_err());
+        let Command::Run(opt) = parse(&argv("run --stream-out t.jsonl")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(opt.stream_out.as_deref(), Some("t.jsonl"));
+    }
+
+    #[test]
+    fn stream_out_diff_and_convert_round_trip() {
+        let dir = std::env::temp_dir();
+        let jsonl = dir.join("ehsim_cli_test_stream.jsonl");
+        let json = dir.join("ehsim_cli_test_stream.json");
+        let cmd = parse(&argv(&format!(
+            "run --workload sha --scale small --trace rf1 --stream-out {}",
+            jsonl.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("stream"), "{out}");
+        // A streamed run reports the same numbers as a plain run.
+        let plain = execute(&parse(&argv("run --workload sha --scale small --trace rf1")).unwrap())
+            .unwrap();
+        for line in plain.lines() {
+            assert!(out.contains(line), "missing line {line:?} in {out}");
+        }
+        // Self-diff of the streamed capture reports no divergence.
+        let diff = execute(&Command::DiffTraces(
+            jsonl.display().to_string(),
+            jsonl.display().to_string(),
+        ))
+        .unwrap();
+        assert!(diff.contains("no divergence"), "{diff}");
+        // The streamed JSONL converts to Chrome JSON that validates.
+        let conv = execute(&Command::ConvertTrace(ConvertOptions {
+            input: jsonl.display().to_string(),
+            output: json.display().to_string(),
+            name: None,
+        }))
+        .unwrap();
+        assert!(conv.contains("jsonl"), "{conv}");
+        let check = execute(&Command::ValidateTrace(json.display().to_string())).unwrap();
+        assert!(check.contains("valid ("), "{check}");
+        let _ = std::fs::remove_file(&jsonl);
+        let _ = std::fs::remove_file(&json);
+    }
+
+    #[test]
+    fn voltage_plot_writes_tsv_and_svg() {
+        let dir = std::env::temp_dir();
+        let tsv = dir.join("ehsim_cli_test_v.tsv");
+        let svg = dir.join("ehsim_cli_test_v.svg");
+        let cmd = parse(&argv(&format!(
+            "voltage-plot --workload sha --scale small --trace rf1 --tsv-out {} --svg-out {}",
+            tsv.display(),
+            svg.display()
+        )))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("voltage tsv"), "{out}");
+        let tsv_text = std::fs::read_to_string(&tsv).unwrap();
+        assert!(tsv_text.starts_with("t_ps\tvolts\n"), "{tsv_text}");
+        assert!(
+            tsv_text.lines().count() > 2,
+            "sampled trajectory is non-trivial"
+        );
+        let svg_text = std::fs::read_to_string(&svg).unwrap();
+        assert!(svg_text.starts_with("<svg "));
+        assert!(svg_text.contains("Vbackup"), "rails overlaid");
+        let _ = std::fs::remove_file(&tsv);
+        let _ = std::fs::remove_file(&svg);
     }
 
     #[test]

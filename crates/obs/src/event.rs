@@ -103,4 +103,25 @@ pub enum Event {
         /// `true` for a rising (charging) crossing.
         rising: bool,
     },
+    /// Opt-in capacitor-voltage sample, emitted once per settlement
+    /// window (and per recharge step) when the attached observer asks
+    /// for voltage sampling. Off by default: the default recording path
+    /// never sees these, so traces and goldens are unchanged unless a
+    /// caller opts in.
+    VoltageSample {
+        /// Capacitor voltage after the settlement.
+        voltage: f64,
+    },
+    /// Cumulative energy totals at a power-on-interval boundary, emitted
+    /// just before each `CheckpointEnd` and once at the end of the run.
+    /// Consecutive samples telescope into per-interval deltas that
+    /// reconcile exactly with the run's `EnergyMeter` totals.
+    EnergySample {
+        /// Cumulative energy delivered by the harvesting trace (pJ),
+        /// including recharge-to-`Von` harvesting.
+        harvested_pj: f64,
+        /// Cumulative metered consumption (pJ) — the `EnergyMeter`
+        /// total at the sample time.
+        consumed_pj: f64,
+    },
 }

@@ -109,6 +109,12 @@ pub(crate) fn chrome_trace(trace: &RunTrace, name: &str) -> String {
             ts_us(ts)
         ));
     };
+    let counter_f = |lines: &mut Vec<String>, ts: u64, name: &str, value: f64| {
+        lines.push(format!(
+            "{{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":{},\"name\":\"{name}\",\"args\":{{\"value\":{value}}}}}",
+            ts_us(ts)
+        ));
+    };
 
     for &(ts, ev) in &events {
         match ev {
@@ -133,6 +139,10 @@ pub(crate) fn chrome_trace(trace: &RunTrace, name: &str) -> String {
                     "outage",
                     format!(",\"args\":{{\"on_ps\":{on_ps},\"voltage\":{voltage:.4}}}"),
                 );
+                // Histogram counter track: each sample the histogram
+                // records is also a point on a Perfetto counter, so the
+                // distribution is browsable over time.
+                counter(&mut lines, ts, "hist:outage_interval_ps", on_ps as i64);
             }
             Event::CheckpointBegin { dirty_lines } => {
                 begin(
@@ -150,6 +160,12 @@ pub(crate) fn chrome_trace(trace: &RunTrace, name: &str) -> String {
                     ts,
                     "checkpoint",
                     format!(",\"args\":{{\"flushed_lines\":{flushed_lines}}}"),
+                );
+                counter(
+                    &mut lines,
+                    ts,
+                    "hist:dirty_at_checkpoint",
+                    flushed_lines as i64,
                 );
                 if dq_occupancy != 0 {
                     dq_occupancy = 0;
@@ -198,6 +214,12 @@ pub(crate) fn chrome_trace(trace: &RunTrace, name: &str) -> String {
                     ts_us(ts),
                     ts_us(ack_at.saturating_sub(ts))
                 ));
+                counter(
+                    &mut lines,
+                    ts,
+                    "hist:writeback_latency_ps",
+                    ack_at.saturating_sub(ts) as i64,
+                );
             }
             Event::Reconfigure { maxline, waterline } => {
                 instant(
@@ -227,6 +249,16 @@ pub(crate) fn chrome_trace(trace: &RunTrace, name: &str) -> String {
                     String::new(),
                 );
             }
+            Event::VoltageSample { voltage } => {
+                counter_f(&mut lines, ts, "capacitor_v", voltage);
+            }
+            Event::EnergySample {
+                harvested_pj,
+                consumed_pj,
+            } => {
+                counter_f(&mut lines, ts, "harvested_pj", harvested_pj);
+                counter_f(&mut lines, ts, "consumed_pj", consumed_pj);
+            }
         }
     }
 
@@ -237,62 +269,70 @@ pub(crate) fn chrome_trace(trace: &RunTrace, name: &str) -> String {
     out
 }
 
-/// One finished power-on interval for the metrics table.
-#[derive(Default)]
-struct IntervalRow {
-    interval: u64,
-    start_ps: u64,
-    end_ps: u64,
-    on_ps: u64,
-    dirty_flushed: Option<u64>,
-    cleanings: u64,
-    enqueues: u64,
-    acks: u64,
-    stalls: u64,
-    stale_drops: u64,
-    dyn_raises: u64,
-    maxline: Option<usize>,
-    waterline: Option<usize>,
+/// One finished power-on interval, as derived from the event timeline.
+///
+/// This is the typed row behind [`RunTrace::interval_metrics_tsv`]; the
+/// `ehsim-analyze` crate consumes the same rows for cross-run diffing.
+/// Rows close at the interval's `CheckpointEnd` (or at `RunEnd` for the
+/// final, uninterrupted one, where `dirty_flushed` is `None` because no
+/// checkpoint ran). For non-WL designs the DirtyQueue columns are zero.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceInterval {
+    /// Power-on interval index (0 = initial boot).
+    pub interval: u64,
+    /// `PowerOn` timestamp.
+    pub start_ps: u64,
+    /// `OutageBegin` (or `RunEnd`) timestamp.
+    pub end_ps: u64,
+    /// Length of the on-interval.
+    pub on_ps: u64,
+    /// Lines flushed by the JIT checkpoint that closed the interval;
+    /// `None` for the final interval the run ended inside.
+    pub dirty_flushed: Option<u64>,
+    /// Async write-backs issued (`WritebackIssued`).
+    pub cleanings: u64,
+    /// DirtyQueue enqueues.
+    pub enqueues: u64,
+    /// DirtyQueue ACKs timestamped inside the interval.
+    pub acks: u64,
+    /// Core stalls on `maxline`.
+    pub stalls: u64,
+    /// Stale queue entries dropped.
+    pub stale_drops: u64,
+    /// §4 dynamic `maxline` raises inside the interval.
+    pub dyn_raises: u64,
+    /// `maxline` in force when the interval closed (`None` for non-WL
+    /// designs, which never emit thresholds).
+    pub maxline: Option<usize>,
+    /// `waterline` in force when the interval closed.
+    pub waterline: Option<usize>,
+    /// Energy harvested during this interval (pJ): the exact f64
+    /// difference of consecutive cumulative [`Event::EnergySample`]s.
+    /// `None` when the run was recorded without energy instrumentation.
+    pub harvested_delta_pj: Option<f64>,
+    /// Energy consumed during this interval (pJ), same telescoping
+    /// construction.
+    pub consumed_delta_pj: Option<f64>,
+    /// Cumulative harvested energy at interval close (pJ).
+    pub harvested_cum_pj: Option<f64>,
+    /// Cumulative metered consumption at interval close (pJ) — the
+    /// `EnergyMeter` total at that instant, bit-exact.
+    pub consumed_cum_pj: Option<f64>,
 }
 
-/// Renders per-power-on-interval metrics as a TSV table (same style as
-/// `results/*.tsv`). One row per interval: rows close at the interval's
-/// `CheckpointEnd` (or at `RunEnd` for the final, uninterrupted one,
-/// where `dirty_flushed` is `-` because no checkpoint ran). For non-WL
-/// designs the DirtyQueue columns are zero.
-pub(crate) fn interval_metrics_tsv(trace: &RunTrace) -> String {
+/// Derives the per-power-on-interval rows from a trace's timeline.
+pub(crate) fn intervals(trace: &RunTrace) -> Vec<TraceInterval> {
     let mut events = trace.events.clone();
+    // Stable sort: same-ts emission order (EnergySample before
+    // CheckpointEnd / RunEnd) is preserved.
     events.sort_by_key(|(ts, _)| *ts);
 
-    let mut out = String::new();
-    out.push_str(
-        "interval\tstart_ps\tend_ps\ton_ps\tdirty_flushed\tcleanings\tenqueues\tacks\tstalls\tstale_drops\tdyn_raises\tmaxline\twaterline\n",
-    );
+    let mut rows = Vec::new();
     let mut maxline: Option<usize> = None;
     let mut waterline: Option<usize> = None;
-    let mut cur: Option<IntervalRow> = None;
-
-    let flush = |out: &mut String, row: IntervalRow| {
-        let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
-        let optu = |v: Option<usize>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
-        let _ = writeln!(
-            out,
-            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-            row.interval,
-            row.start_ps,
-            row.end_ps,
-            row.on_ps,
-            opt(row.dirty_flushed),
-            row.cleanings,
-            row.enqueues,
-            row.acks,
-            row.stalls,
-            row.stale_drops,
-            row.dyn_raises,
-            optu(row.maxline),
-            optu(row.waterline),
-        );
-    };
+    let mut cur: Option<TraceInterval> = None;
+    let mut prev_harvested = 0.0_f64;
+    let mut prev_consumed = 0.0_f64;
 
     for &(ts, ev) in &events {
         match ev {
@@ -304,12 +344,12 @@ pub(crate) fn interval_metrics_tsv(trace: &RunTrace) -> String {
                 waterline = Some(w);
             }
             Event::PowerOn { interval } => {
-                cur = Some(IntervalRow {
+                cur = Some(TraceInterval {
                     interval,
                     start_ps: ts,
                     maxline,
                     waterline,
-                    ..IntervalRow::default()
+                    ..TraceInterval::default()
                 });
             }
             Event::OutageBegin { on_ps, .. } => {
@@ -318,12 +358,25 @@ pub(crate) fn interval_metrics_tsv(trace: &RunTrace) -> String {
                     row.on_ps = on_ps;
                 }
             }
+            Event::EnergySample {
+                harvested_pj,
+                consumed_pj,
+            } => {
+                if let Some(row) = cur.as_mut() {
+                    row.harvested_cum_pj = Some(harvested_pj);
+                    row.consumed_cum_pj = Some(consumed_pj);
+                    row.harvested_delta_pj = Some(harvested_pj - prev_harvested);
+                    row.consumed_delta_pj = Some(consumed_pj - prev_consumed);
+                }
+                prev_harvested = harvested_pj;
+                prev_consumed = consumed_pj;
+            }
             Event::CheckpointEnd { flushed_lines } => {
                 if let Some(mut row) = cur.take() {
                     row.dirty_flushed = Some(flushed_lines);
                     row.maxline = maxline;
                     row.waterline = waterline;
-                    flush(&mut out, row);
+                    rows.push(row);
                 }
             }
             Event::RunEnd => {
@@ -332,7 +385,7 @@ pub(crate) fn interval_metrics_tsv(trace: &RunTrace) -> String {
                     row.on_ps = ts.saturating_sub(row.start_ps);
                     row.maxline = maxline;
                     row.waterline = waterline;
-                    flush(&mut out, row);
+                    rows.push(row);
                 }
             }
             Event::WritebackIssued { .. } => {
@@ -377,8 +430,50 @@ pub(crate) fn interval_metrics_tsv(trace: &RunTrace) -> String {
             | Event::PowerOff
             | Event::RestoreBegin
             | Event::RestoreEnd
-            | Event::VoltageCross { .. } => {}
+            | Event::VoltageCross { .. }
+            | Event::VoltageSample { .. } => {}
         }
+    }
+    rows
+}
+
+/// Renders per-power-on-interval metrics as a TSV table (same style as
+/// `results/*.tsv`), one row per [`TraceInterval`]. The four energy
+/// columns are appended last and print `-` when the run carried no
+/// [`Event::EnergySample`]s, so pre-existing column positions are
+/// stable.
+pub(crate) fn interval_metrics_tsv(trace: &RunTrace) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "interval\tstart_ps\tend_ps\ton_ps\tdirty_flushed\tcleanings\tenqueues\tacks\tstalls\tstale_drops\tdyn_raises\tmaxline\twaterline\tharvested_pj\tconsumed_pj\tharvested_cum_pj\tconsumed_cum_pj\n",
+    );
+    let opt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+    let optu = |v: Option<usize>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+    // `{}` is Rust's shortest round-trip float formatting: the analyze
+    // crate parses these back to bit-identical values.
+    let optf = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+    for row in intervals(trace) {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            row.interval,
+            row.start_ps,
+            row.end_ps,
+            row.on_ps,
+            opt(row.dirty_flushed),
+            row.cleanings,
+            row.enqueues,
+            row.acks,
+            row.stalls,
+            row.stale_drops,
+            row.dyn_raises,
+            optu(row.maxline),
+            optu(row.waterline),
+            optf(row.harvested_delta_pj),
+            optf(row.consumed_delta_pj),
+            optf(row.harvested_cum_pj),
+            optf(row.consumed_cum_pj),
+        );
     }
     histogram_footer(&mut out, trace);
     out

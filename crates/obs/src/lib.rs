@@ -29,11 +29,16 @@ mod export;
 mod histogram;
 mod observer;
 mod recorder;
+mod stream;
 
 pub use event::Event;
-pub use export::{validate_chrome_trace, TraceCheck};
+pub use export::{validate_chrome_trace, TraceCheck, TraceInterval};
 pub use histogram::Histogram;
 pub use observer::{NoopObserver, Observer, ObserverBox};
 pub use recorder::{ObsCounters, ObsHistograms, Recorder, RunTrace};
+pub use stream::{
+    event_to_jsonl, parse_jsonl_line, StreamStats, StreamStatsHandle, StreamingObserver,
+    DEFAULT_STREAM_CAPACITY,
+};
 
 pub use ehsim_energy::Rail;

@@ -18,6 +18,22 @@ pub trait Observer {
     /// their NVM completion time, which can precede the current cursor
     /// of the machine lifecycle); exporters sort before rendering.
     fn event(&mut self, at: Ps, ev: Event);
+
+    /// Whether the machine should emit per-settlement
+    /// [`Event::VoltageSample`]s for this sink. Defaults to `false`:
+    /// per-settle sampling is too hot for the default recording path, so
+    /// sinks opt in explicitly (e.g.
+    /// [`Recorder::with_voltage_sampling`]).
+    fn wants_voltage(&self) -> bool {
+        false
+    }
+
+    /// Called once when observation ends, with the machine's final
+    /// timestamp. The default forwards an [`Event::RunEnd`]; sinks with
+    /// buffered output (the streaming observer) override this to flush.
+    fn end(&mut self, at: Ps) {
+        self.event(at, Event::RunEnd);
+    }
 }
 
 /// The do-nothing sink; the default for every simulation.
@@ -58,6 +74,12 @@ impl ObserverBox {
         ObserverBox::Recording(Recorder::default())
     }
 
+    /// A recording observer that additionally samples capacitor voltage
+    /// once per settlement window ([`Event::VoltageSample`]).
+    pub fn recording_sampled() -> Self {
+        ObserverBox::Recording(Recorder::with_voltage_sampling())
+    }
+
     /// Boxes a user-supplied sink (see `examples/invariant_observer.rs`
     /// for the cookbook). To read results back after the run, keep
     /// shared state (`Arc<Mutex<_>>`) inside the observer.
@@ -72,6 +94,18 @@ impl ObserverBox {
         !matches!(self, ObserverBox::Noop)
     }
 
+    /// Whether the machine should emit per-settlement voltage samples.
+    /// Always `false` for the no-op sink; other sinks answer via
+    /// [`Observer::wants_voltage`].
+    #[inline]
+    pub fn voltage_sampling(&self) -> bool {
+        match self {
+            ObserverBox::Noop => false,
+            ObserverBox::Recording(r) => r.wants_voltage(),
+            ObserverBox::Custom(o) => o.wants_voltage(),
+        }
+    }
+
     /// Delivers one event to the sink.
     #[inline]
     pub fn emit(&mut self, at: Ps, ev: Event) {
@@ -79,6 +113,16 @@ impl ObserverBox {
             ObserverBox::Noop => {}
             ObserverBox::Recording(r) => r.event(at, ev),
             ObserverBox::Custom(o) => o.event(at, ev),
+        }
+    }
+
+    /// Signals the end of observation at the machine's final timestamp
+    /// (see [`Observer::end`]); the streaming observer flushes here.
+    pub fn end(&mut self, at: Ps) {
+        match self {
+            ObserverBox::Noop => {}
+            ObserverBox::Recording(r) => r.end(at),
+            ObserverBox::Custom(o) => o.end(at),
         }
     }
 

@@ -35,6 +35,11 @@ pub struct ObsCounters {
     pub stale_drops: u64,
     /// `VoltageCross` events.
     pub voltage_crossings: u64,
+    /// `VoltageSample` events (zero unless sampling was opted into).
+    pub voltage_samples: u64,
+    /// `EnergySample` events (one per completed checkpoint + one at run
+    /// end on an instrumented machine).
+    pub energy_samples: u64,
 }
 
 /// The lightweight metric histograms kept by a [`Recorder`].
@@ -48,6 +53,51 @@ pub struct ObsHistograms {
     pub writeback_latency_ps: Histogram,
 }
 
+/// Folds one event into counters and histograms.
+///
+/// Shared by [`Recorder`] (which additionally stores the timeline) and
+/// the bounded-buffer [`crate::StreamingObserver`] (which writes the
+/// timeline to disk instead): both therefore report identical summary
+/// statistics for the same event stream.
+pub(crate) fn tally(
+    counters: &mut ObsCounters,
+    histograms: &mut ObsHistograms,
+    at: Ps,
+    ev: &Event,
+) {
+    match *ev {
+        Event::PowerOn { .. } => counters.power_ons += 1,
+        Event::OutageBegin { on_ps, .. } => {
+            counters.outages += 1;
+            histograms.outage_interval_ps.record(on_ps);
+        }
+        Event::CheckpointBegin { .. } => counters.checkpoints += 1,
+        Event::CheckpointEnd { flushed_lines } => {
+            histograms.dirty_at_checkpoint.record(flushed_lines);
+        }
+        Event::Reconfigure { .. } => counters.reconfigurations += 1,
+        Event::DynRaise { .. } => counters.dyn_raises += 1,
+        Event::DqEnqueue { .. } => counters.dq_enqueues += 1,
+        Event::DqAck { .. } => counters.dq_acks += 1,
+        Event::DqStall { .. } => counters.dq_stalls += 1,
+        Event::DqStaleDrop { dropped } => counters.stale_drops += dropped as u64,
+        Event::WritebackIssued { ack_at, .. } => {
+            counters.writebacks_issued += 1;
+            histograms
+                .writeback_latency_ps
+                .record(ack_at.saturating_sub(at));
+        }
+        Event::VoltageCross { .. } => counters.voltage_crossings += 1,
+        Event::VoltageSample { .. } => counters.voltage_samples += 1,
+        Event::EnergySample { .. } => counters.energy_samples += 1,
+        Event::InitialThresholds { .. }
+        | Event::PowerOff
+        | Event::RestoreBegin
+        | Event::RestoreEnd
+        | Event::RunEnd => {}
+    }
+}
+
 /// An [`Observer`] that records every event with its timestamp and
 /// maintains [`ObsCounters`] and [`ObsHistograms`] incrementally.
 #[derive(Debug, Clone, Default)]
@@ -55,44 +105,35 @@ pub struct Recorder {
     events: Vec<(Ps, Event)>,
     counters: ObsCounters,
     histograms: ObsHistograms,
+    sample_voltage: bool,
+    ended: bool,
 }
 
 impl Observer for Recorder {
     fn event(&mut self, at: Ps, ev: Event) {
-        match ev {
-            Event::PowerOn { .. } => self.counters.power_ons += 1,
-            Event::OutageBegin { on_ps, .. } => {
-                self.counters.outages += 1;
-                self.histograms.outage_interval_ps.record(on_ps);
-            }
-            Event::CheckpointBegin { .. } => self.counters.checkpoints += 1,
-            Event::CheckpointEnd { flushed_lines } => {
-                self.histograms.dirty_at_checkpoint.record(flushed_lines);
-            }
-            Event::Reconfigure { .. } => self.counters.reconfigurations += 1,
-            Event::DynRaise { .. } => self.counters.dyn_raises += 1,
-            Event::DqEnqueue { .. } => self.counters.dq_enqueues += 1,
-            Event::DqAck { .. } => self.counters.dq_acks += 1,
-            Event::DqStall { .. } => self.counters.dq_stalls += 1,
-            Event::DqStaleDrop { dropped } => self.counters.stale_drops += dropped as u64,
-            Event::WritebackIssued { ack_at, .. } => {
-                self.counters.writebacks_issued += 1;
-                self.histograms
-                    .writeback_latency_ps
-                    .record(ack_at.saturating_sub(at));
-            }
-            Event::VoltageCross { .. } => self.counters.voltage_crossings += 1,
-            Event::InitialThresholds { .. }
-            | Event::PowerOff
-            | Event::RestoreBegin
-            | Event::RestoreEnd
-            | Event::RunEnd => {}
+        tally(&mut self.counters, &mut self.histograms, at, &ev);
+        if matches!(ev, Event::RunEnd) {
+            self.ended = true;
         }
         self.events.push((at, ev));
+    }
+
+    fn wants_voltage(&self) -> bool {
+        self.sample_voltage
     }
 }
 
 impl Recorder {
+    /// A recorder that additionally asks the machine for per-settlement
+    /// capacitor-voltage samples ([`Event::VoltageSample`]). Sampling is
+    /// too hot for the default recording path, so it is opt-in only.
+    pub fn with_voltage_sampling() -> Self {
+        Recorder {
+            sample_voltage: true,
+            ..Recorder::default()
+        }
+    }
+
     /// Recorded events so far, in emission order.
     pub fn events(&self) -> &[(Ps, Event)] {
         &self.events
@@ -103,9 +144,12 @@ impl Recorder {
         &self.counters
     }
 
-    /// Closes the timeline at `end` and yields the finished trace.
+    /// Closes the timeline at `end` (unless the machine already
+    /// delivered [`Event::RunEnd`]) and yields the finished trace.
     pub fn finish(mut self, end: Ps) -> RunTrace {
-        self.events.push((end, Event::RunEnd));
+        if !self.ended {
+            self.event(end, Event::RunEnd);
+        }
         RunTrace {
             events: self.events,
             counters: self.counters,
@@ -136,6 +180,36 @@ impl RunTrace {
     /// Renders per-power-on-interval metrics as a TSV table.
     pub fn interval_metrics_tsv(&self) -> String {
         crate::export::interval_metrics_tsv(self)
+    }
+
+    /// The per-power-on-interval rows behind
+    /// [`RunTrace::interval_metrics_tsv`], as typed values.
+    pub fn intervals(&self) -> Vec<crate::TraceInterval> {
+        crate::export::intervals(self)
+    }
+
+    /// Renders the timeline as JSON-lines (one event per line), the
+    /// format the [`crate::StreamingObserver`] writes incrementally.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 48);
+        for (at, ev) in &self.events {
+            out.push_str(&crate::stream::event_to_jsonl(*at, ev));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The opt-in capacitor-voltage trajectory: `(ts, volts)` per
+    /// [`Event::VoltageSample`]. Empty unless the run was recorded with
+    /// [`Recorder::with_voltage_sampling`].
+    pub fn voltage_series(&self) -> Vec<(Ps, f64)> {
+        self.events
+            .iter()
+            .filter_map(|&(at, ev)| match ev {
+                Event::VoltageSample { voltage } => Some((at, voltage)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Number of recorded events matching `pred` (test convenience).
@@ -183,5 +257,38 @@ mod tests {
         assert_eq!(t.histograms.writeback_latency_ps.sum(), 50);
         assert_eq!(t.events.last(), Some(&(300, Event::RunEnd)));
         assert_eq!(t.count(|e| matches!(e, Event::PowerOn { .. })), 2);
+    }
+
+    #[test]
+    fn voltage_sampling_is_opt_in() {
+        let off = Recorder::default();
+        assert!(!off.wants_voltage());
+        let mut on = Recorder::with_voltage_sampling();
+        assert!(on.wants_voltage());
+        on.event(10, Event::VoltageSample { voltage: 3.1 });
+        on.event(
+            20,
+            Event::EnergySample {
+                harvested_pj: 5.0,
+                consumed_pj: 4.0,
+            },
+        );
+        let t = on.finish(30);
+        assert_eq!(t.counters.voltage_samples, 1);
+        assert_eq!(t.counters.energy_samples, 1);
+        assert_eq!(t.voltage_series(), vec![(10, 3.1)]);
+    }
+
+    #[test]
+    fn finish_is_idempotent_when_run_end_already_arrived() {
+        let mut r = Recorder::default();
+        r.event(0, Event::PowerOn { interval: 0 });
+        r.event(50, Event::RunEnd);
+        let t = r.finish(50);
+        assert_eq!(
+            t.count(|e| matches!(e, Event::RunEnd)),
+            1,
+            "finish must not duplicate a machine-delivered RunEnd"
+        );
     }
 }

@@ -1,0 +1,601 @@
+//! Streaming trace recording: a JSON-lines event codec and a
+//! bounded-buffer [`Observer`] that writes events incrementally.
+//!
+//! The in-memory [`crate::Recorder`] buffers every event — around a
+//! million per hot-path scenario, far more on Default-scale multi-minute
+//! runs. [`StreamingObserver`] instead holds at most
+//! [`StreamingObserver::capacity`] events before serializing them to its
+//! sink as one JSON object per line, so recording memory is constant in
+//! run length. The JSONL format round-trips exactly: every field is
+//! printed with Rust's shortest-round-trip formatting, and
+//! [`parse_jsonl_line`] restores the identical `(timestamp, Event)`
+//! pair, which is what lets `ehsim-analyze` rebuild the full `Run`
+//! model (counters, histograms, intervals) from a streamed file.
+
+use crate::event::Event;
+use crate::observer::Observer;
+use crate::recorder::{tally, ObsCounters, ObsHistograms};
+use ehsim_mem::Ps;
+use std::fmt::Write as _;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// Default cap on buffered events before a flush to the sink.
+pub const DEFAULT_STREAM_CAPACITY: usize = 4096;
+
+/// Serializes one `(timestamp, event)` pair as a single JSON object
+/// (no trailing newline), e.g.
+/// `{"ts":1200,"ev":"DqEnqueue","base":64}`.
+///
+/// Numeric fields use Rust's shortest-round-trip formatting, so
+/// [`parse_jsonl_line`] recovers bit-identical values.
+pub fn event_to_jsonl(at: Ps, ev: &Event) -> String {
+    let mut s = String::with_capacity(48);
+    let _ = write!(s, "{{\"ts\":{at},\"ev\":\"");
+    match *ev {
+        Event::InitialThresholds { maxline, waterline } => {
+            let _ = write!(
+                s,
+                "InitialThresholds\",\"maxline\":{maxline},\"waterline\":{waterline}"
+            );
+        }
+        Event::PowerOn { interval } => {
+            let _ = write!(s, "PowerOn\",\"interval\":{interval}");
+        }
+        Event::OutageBegin { on_ps, voltage } => {
+            let _ = write!(s, "OutageBegin\",\"on_ps\":{on_ps},\"voltage\":{voltage}");
+        }
+        Event::CheckpointBegin { dirty_lines } => {
+            let _ = write!(s, "CheckpointBegin\",\"dirty_lines\":{dirty_lines}");
+        }
+        Event::CheckpointEnd { flushed_lines } => {
+            let _ = write!(s, "CheckpointEnd\",\"flushed_lines\":{flushed_lines}");
+        }
+        Event::PowerOff => s.push_str("PowerOff\""),
+        Event::RestoreBegin => s.push_str("RestoreBegin\""),
+        Event::RestoreEnd => s.push_str("RestoreEnd\""),
+        Event::RunEnd => s.push_str("RunEnd\""),
+        Event::DqEnqueue { base } => {
+            let _ = write!(s, "DqEnqueue\",\"base\":{base}");
+        }
+        Event::DqAck { base } => {
+            let _ = write!(s, "DqAck\",\"base\":{base}");
+        }
+        Event::DqStall { until } => {
+            let _ = write!(s, "DqStall\",\"until\":{until}");
+        }
+        Event::DqStaleDrop { dropped } => {
+            let _ = write!(s, "DqStaleDrop\",\"dropped\":{dropped}");
+        }
+        Event::WritebackIssued { base, ack_at } => {
+            let _ = write!(s, "WritebackIssued\",\"base\":{base},\"ack_at\":{ack_at}");
+        }
+        Event::Reconfigure { maxline, waterline } => {
+            let _ = write!(
+                s,
+                "Reconfigure\",\"maxline\":{maxline},\"waterline\":{waterline}"
+            );
+        }
+        Event::DynRaise { maxline } => {
+            let _ = write!(s, "DynRaise\",\"maxline\":{maxline}");
+        }
+        Event::VoltageCross { rail, rising } => {
+            let _ = write!(
+                s,
+                "VoltageCross\",\"rail\":\"{}\",\"rising\":{rising}",
+                rail.label()
+            );
+        }
+        Event::VoltageSample { voltage } => {
+            let _ = write!(s, "VoltageSample\",\"voltage\":{voltage}");
+        }
+        Event::EnergySample {
+            harvested_pj,
+            consumed_pj,
+        } => {
+            let _ = write!(
+                s,
+                "EnergySample\",\"harvested_pj\":{harvested_pj},\"consumed_pj\":{consumed_pj}"
+            );
+        }
+    }
+    // Variants with fields already closed their name quote above; the
+    // field-less arms pushed the closing quote themselves.
+    s.push('}');
+    s
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let start = line
+        .find(&pat)
+        .ok_or_else(|| format!("missing field \"{key}\" in `{line}`"))?
+        + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated field \"{key}\" in `{line}`"))?;
+    Ok(&rest[..end])
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let raw = field(line, key)?;
+    raw.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("field \"{key}\" is not a string in `{line}`"))
+}
+
+fn field_u64(line: &str, key: &str) -> Result<u64, String> {
+    field(line, key)?
+        .parse()
+        .map_err(|e| format!("field \"{key}\": {e} in `{line}`"))
+}
+
+fn field_usize(line: &str, key: &str) -> Result<usize, String> {
+    field(line, key)?
+        .parse()
+        .map_err(|e| format!("field \"{key}\": {e} in `{line}`"))
+}
+
+fn field_u32(line: &str, key: &str) -> Result<u32, String> {
+    field(line, key)?
+        .parse()
+        .map_err(|e| format!("field \"{key}\": {e} in `{line}`"))
+}
+
+fn field_f64(line: &str, key: &str) -> Result<f64, String> {
+    field(line, key)?
+        .parse()
+        .map_err(|e| format!("field \"{key}\": {e} in `{line}`"))
+}
+
+fn field_bool(line: &str, key: &str) -> Result<bool, String> {
+    match field(line, key)? {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("field \"{key}\": expected bool, got `{other}`")),
+    }
+}
+
+/// Parses one line written by [`event_to_jsonl`] back into the
+/// identical `(timestamp, Event)` pair.
+///
+/// # Errors
+///
+/// Returns a message naming the missing/malformed field or unknown
+/// event kind.
+pub fn parse_jsonl_line(line: &str) -> Result<(Ps, Event), String> {
+    let ts = field_u64(line, "ts")?;
+    let kind = field_str(line, "ev")?;
+    let ev = match kind {
+        "InitialThresholds" => Event::InitialThresholds {
+            maxline: field_usize(line, "maxline")?,
+            waterline: field_usize(line, "waterline")?,
+        },
+        "PowerOn" => Event::PowerOn {
+            interval: field_u64(line, "interval")?,
+        },
+        "OutageBegin" => Event::OutageBegin {
+            on_ps: field_u64(line, "on_ps")?,
+            voltage: field_f64(line, "voltage")?,
+        },
+        "CheckpointBegin" => Event::CheckpointBegin {
+            dirty_lines: field_usize(line, "dirty_lines")?,
+        },
+        "CheckpointEnd" => Event::CheckpointEnd {
+            flushed_lines: field_u64(line, "flushed_lines")?,
+        },
+        "PowerOff" => Event::PowerOff,
+        "RestoreBegin" => Event::RestoreBegin,
+        "RestoreEnd" => Event::RestoreEnd,
+        "RunEnd" => Event::RunEnd,
+        "DqEnqueue" => Event::DqEnqueue {
+            base: field_u32(line, "base")?,
+        },
+        "DqAck" => Event::DqAck {
+            base: field_u32(line, "base")?,
+        },
+        "DqStall" => Event::DqStall {
+            until: field_u64(line, "until")?,
+        },
+        "DqStaleDrop" => Event::DqStaleDrop {
+            dropped: field_usize(line, "dropped")?,
+        },
+        "WritebackIssued" => Event::WritebackIssued {
+            base: field_u32(line, "base")?,
+            ack_at: field_u64(line, "ack_at")?,
+        },
+        "Reconfigure" => Event::Reconfigure {
+            maxline: field_usize(line, "maxline")?,
+            waterline: field_usize(line, "waterline")?,
+        },
+        "DynRaise" => Event::DynRaise {
+            maxline: field_usize(line, "maxline")?,
+        },
+        "VoltageCross" => Event::VoltageCross {
+            rail: match field_str(line, "rail")? {
+                "Von" => ehsim_energy::Rail::Von,
+                "Vbackup" => ehsim_energy::Rail::Vbackup,
+                "Vmin" => ehsim_energy::Rail::Vmin,
+                other => return Err(format!("unknown rail `{other}` in `{line}`")),
+            },
+            rising: field_bool(line, "rising")?,
+        },
+        "VoltageSample" => Event::VoltageSample {
+            voltage: field_f64(line, "voltage")?,
+        },
+        "EnergySample" => Event::EnergySample {
+            harvested_pj: field_f64(line, "harvested_pj")?,
+            consumed_pj: field_f64(line, "consumed_pj")?,
+        },
+        other => return Err(format!("unknown event kind `{other}`")),
+    };
+    Ok((ts, ev))
+}
+
+/// Summary statistics published by a [`StreamingObserver`] through its
+/// shared handle — the streaming twin of a [`crate::Recorder`]'s
+/// counters and histograms, plus buffer accounting for the
+/// constant-memory claim.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Events written (including the final `RunEnd`).
+    pub events: u64,
+    /// Peak number of events held in the buffer at once; bounded by
+    /// the observer's configured capacity.
+    pub peak_buffered: usize,
+    /// Number of buffer flushes to the sink.
+    pub flushes: u64,
+    /// Event counts, identical to what a [`crate::Recorder`] tallies.
+    pub counters: ObsCounters,
+    /// Metric histograms, identical to a [`crate::Recorder`]'s.
+    pub histograms: ObsHistograms,
+    /// Whether the stream was closed with a `RunEnd`.
+    pub ended: bool,
+    /// The first sink I/O error, if any (the stream stops writing but
+    /// keeps tallying so the simulation is never perturbed).
+    pub io_error: Option<String>,
+}
+
+/// Shared view of a running stream's [`StreamStats`], updated at every
+/// flush and at end-of-observation. Keep a clone to read results after
+/// the machine consumed the observer (the [`crate::ObserverBox::custom`]
+/// pattern from `examples/`).
+pub type StreamStatsHandle = Arc<Mutex<StreamStats>>;
+
+/// A bounded-buffer [`Observer`] that writes the event timeline
+/// incrementally as JSON-lines.
+///
+/// Attach it with [`crate::ObserverBox::custom`]; memory stays constant
+/// (at most `capacity` buffered events) regardless of run length, so
+/// Default-scale multi-minute runs can be recorded without holding the
+/// ~million-event timeline in RAM. The emitted file converts back into
+/// the full `Run` model with `ehsim-analyze` (or `ehsim-cli
+/// convert-trace`), so streamed traces diff exactly like in-memory ones.
+///
+/// Sink errors never panic and never reach the simulation: the first
+/// error is recorded in [`StreamStats::io_error`], writing stops, and
+/// tallying continues.
+pub struct StreamingObserver {
+    out: Box<dyn io::Write + Send>,
+    buf: Vec<(Ps, Event)>,
+    capacity: usize,
+    stats: StreamStats,
+    last_ts: Ps,
+    sample_voltage: bool,
+    shared: StreamStatsHandle,
+}
+
+impl std::fmt::Debug for StreamingObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingObserver")
+            .field("capacity", &self.capacity)
+            .field("buffered", &self.buf.len())
+            .field("events", &self.stats.events)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamingObserver {
+    /// Streams to `sink` with the default buffer capacity
+    /// ([`DEFAULT_STREAM_CAPACITY`] events).
+    pub fn new(sink: impl io::Write + Send + 'static) -> Self {
+        Self::with_capacity(sink, DEFAULT_STREAM_CAPACITY)
+    }
+
+    /// Streams to `sink`, flushing whenever `capacity` events are
+    /// buffered (clamped to at least 1).
+    pub fn with_capacity(sink: impl io::Write + Send + 'static, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        StreamingObserver {
+            out: Box::new(sink),
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            stats: StreamStats::default(),
+            last_ts: 0,
+            sample_voltage: false,
+            shared: Arc::new(Mutex::new(StreamStats::default())),
+        }
+    }
+
+    /// Creates the stream writing to a freshly created file at `path`
+    /// (buffered).
+    ///
+    /// # Errors
+    ///
+    /// Returns the file-creation error.
+    pub fn to_path(path: &std::path::Path) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(io::BufWriter::new(file)))
+    }
+
+    /// Additionally asks the machine for per-settlement voltage samples.
+    #[must_use]
+    pub fn with_voltage_sampling(mut self) -> Self {
+        self.sample_voltage = true;
+        self
+    }
+
+    /// Configured buffer capacity (the bound on in-memory events).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Shared handle to the stream's statistics; refreshed at every
+    /// flush and when observation ends.
+    pub fn stats_handle(&self) -> StreamStatsHandle {
+        Arc::clone(&self.shared)
+    }
+
+    fn publish(&self) {
+        if let Ok(mut s) = self.shared.lock() {
+            *s = self.stats.clone();
+        }
+    }
+
+    fn flush_buf(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        self.stats.flushes += 1;
+        if self.stats.io_error.is_none() {
+            let mut line = String::with_capacity(64);
+            for (at, ev) in &self.buf {
+                line.clear();
+                line.push_str(&event_to_jsonl(*at, ev));
+                line.push('\n');
+                if let Err(e) = self.out.write_all(line.as_bytes()) {
+                    self.stats.io_error = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        self.buf.clear();
+        self.publish();
+    }
+
+    fn close(&mut self, at: Ps) {
+        if self.stats.ended {
+            return;
+        }
+        self.event(at, Event::RunEnd);
+        self.stats.ended = true;
+        self.flush_buf();
+        if self.stats.io_error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.stats.io_error = Some(e.to_string());
+            }
+        }
+        self.publish();
+    }
+}
+
+impl Observer for StreamingObserver {
+    fn event(&mut self, at: Ps, ev: Event) {
+        tally(
+            &mut self.stats.counters,
+            &mut self.stats.histograms,
+            at,
+            &ev,
+        );
+        self.stats.events += 1;
+        self.last_ts = self.last_ts.max(at);
+        self.buf.push((at, ev));
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.buf.len());
+        if self.buf.len() >= self.capacity {
+            self.flush_buf();
+        }
+    }
+
+    fn wants_voltage(&self) -> bool {
+        self.sample_voltage
+    }
+
+    fn end(&mut self, at: Ps) {
+        self.close(at);
+    }
+}
+
+/// Safety net for abandoned streams (error paths that never reach
+/// [`Observer::end`]): closes the stream at the last seen timestamp so
+/// the file on disk is still a complete, parseable timeline.
+impl Drop for StreamingObserver {
+    fn drop(&mut self) {
+        let at = self.last_ts;
+        self.close(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ehsim_energy::Rail;
+
+    fn all_variants() -> Vec<(Ps, Event)> {
+        vec![
+            (
+                0,
+                Event::InitialThresholds {
+                    maxline: 6,
+                    waterline: 2,
+                },
+            ),
+            (0, Event::PowerOn { interval: 0 }),
+            (5, Event::DqEnqueue { base: 64 }),
+            (
+                7,
+                Event::WritebackIssued {
+                    base: 64,
+                    ack_at: 107,
+                },
+            ),
+            (107, Event::DqAck { base: 64 }),
+            (120, Event::DqStall { until: 140 }),
+            (150, Event::DqStaleDrop { dropped: 2 }),
+            (
+                200,
+                Event::OutageBegin {
+                    on_ps: 200,
+                    voltage: 2.9531,
+                },
+            ),
+            (200, Event::CheckpointBegin { dirty_lines: 3 }),
+            (
+                230,
+                Event::EnergySample {
+                    harvested_pj: 123.456789,
+                    consumed_pj: 98.7654321,
+                },
+            ),
+            (230, Event::CheckpointEnd { flushed_lines: 3 }),
+            (230, Event::PowerOff),
+            (
+                400,
+                Event::VoltageCross {
+                    rail: Rail::Von,
+                    rising: true,
+                },
+            ),
+            (400, Event::RestoreBegin),
+            (410, Event::RestoreEnd),
+            (410, Event::PowerOn { interval: 1 }),
+            (
+                420,
+                Event::Reconfigure {
+                    maxline: 5,
+                    waterline: 2,
+                },
+            ),
+            (430, Event::DynRaise { maxline: 6 }),
+            (440, Event::VoltageSample { voltage: 3.0125 }),
+            (500, Event::RunEnd),
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant_exactly() {
+        for (at, ev) in all_variants() {
+            let line = event_to_jsonl(at, &ev);
+            let (ts2, ev2) = parse_jsonl_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!((at, ev), (ts2, ev2), "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl_line("{}").is_err());
+        assert!(parse_jsonl_line("{\"ts\":1}").is_err());
+        assert!(parse_jsonl_line("{\"ts\":1,\"ev\":\"Nope\"}").is_err());
+        assert!(parse_jsonl_line("{\"ts\":1,\"ev\":\"DqEnqueue\"}").is_err());
+        assert!(parse_jsonl_line("{\"ts\":x,\"ev\":\"PowerOff\"}").is_err());
+        assert!(parse_jsonl_line(
+            "{\"ts\":1,\"ev\":\"VoltageCross\",\"rail\":\"Vx\",\"rising\":true}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn streaming_observer_bounds_its_buffer_and_matches_recorder() {
+        use crate::recorder::Recorder;
+
+        let events = all_variants();
+        let sink: Vec<u8> = Vec::new();
+        let shared_sink = Arc::new(Mutex::new(Vec::new()));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl io::Write for SharedWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if let Ok(mut v) = self.0.lock() {
+                    v.extend_from_slice(buf);
+                }
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        drop(sink);
+
+        let mut stream =
+            StreamingObserver::with_capacity(SharedWriter(Arc::clone(&shared_sink)), 4)
+                .with_voltage_sampling();
+        assert!(stream.wants_voltage());
+        let handle = stream.stats_handle();
+        let mut recorder = Recorder::default();
+        // Deliver everything except the trailing RunEnd, which arrives
+        // through end-of-observation on both sinks.
+        for &(at, ev) in events.iter().take(events.len() - 1) {
+            stream.event(at, ev);
+            recorder.event(at, ev);
+        }
+        stream.end(500);
+        let trace = recorder.finish(500);
+        drop(stream);
+
+        let stats = handle.lock().map(|s| s.clone()).unwrap_or_default();
+        assert!(stats.ended);
+        assert!(stats.io_error.is_none(), "{:?}", stats.io_error);
+        assert_eq!(stats.events as usize, events.len());
+        assert!(
+            stats.peak_buffered <= 4,
+            "buffer exceeded its bound: {}",
+            stats.peak_buffered
+        );
+        assert!(stats.flushes >= 2, "a 4-cap buffer must flush repeatedly");
+        // Summary statistics agree with the in-memory recorder exactly.
+        assert_eq!(stats.counters, trace.counters);
+        assert_eq!(stats.histograms, trace.histograms);
+
+        // The JSONL on the sink reconciles event-for-event.
+        let bytes = shared_sink.lock().map(|v| v.clone()).unwrap_or_default();
+        let text = String::from_utf8(bytes).expect("jsonl is utf-8");
+        let parsed: Vec<(Ps, Event)> = text
+            .lines()
+            .map(|l| parse_jsonl_line(l).unwrap_or_else(|e| panic!("{e}")))
+            .collect();
+        assert_eq!(parsed, trace.events);
+    }
+
+    #[test]
+    fn drop_closes_an_unfinished_stream_at_the_last_timestamp() {
+        let shared_sink = Arc::new(Mutex::new(Vec::new()));
+        struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+        impl io::Write for SharedWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if let Ok(mut v) = self.0.lock() {
+                    v.extend_from_slice(buf);
+                }
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut stream = StreamingObserver::new(SharedWriter(Arc::clone(&shared_sink)));
+        stream.event(42, Event::PowerOn { interval: 0 });
+        drop(stream);
+        let bytes = shared_sink.lock().map(|v| v.clone()).unwrap_or_default();
+        let text = String::from_utf8(bytes).expect("utf-8");
+        let last = text.lines().last().expect("stream closed on drop");
+        assert_eq!(parse_jsonl_line(last), Ok((42, Event::RunEnd)));
+    }
+}

@@ -54,6 +54,14 @@ pub struct Machine {
     /// mutate simulation state, so results are bit-identical with or
     /// without one attached.
     obs: ObserverBox,
+    /// Whether the sink asked for per-settlement
+    /// [`Event::VoltageSample`]s (cached at construction; the answer is
+    /// part of the observer's type, not its state).
+    obs_voltage: bool,
+    /// Cumulative trace-side harvested energy (pJ), maintained only
+    /// while an observer is attached — it feeds
+    /// [`Event::EnergySample`]s and nothing in the simulation reads it.
+    harvested_pj: Pj,
 
     booted: bool,
     now: Ps,
@@ -142,7 +150,9 @@ impl Machine {
             verify_oracle,
             verify_line_bytes: line,
             max_outages: cfg.max_outages,
+            obs_voltage: obs.voltage_sampling(),
             obs,
+            harvested_pj: 0.0,
             booted: false,
             now: 0,
             boot_time: 0,
@@ -203,6 +213,12 @@ impl Machine {
         &self.design
     }
 
+    /// The design's voltage thresholds (`Von`/`Vbackup`/`Vmin`), e.g.
+    /// for overlaying rails on an exported voltage trajectory.
+    pub fn voltage_thresholds(&self) -> VoltageThresholds {
+        self.design.thresholds()
+    }
+
     /// The attached event sink.
     pub fn observer(&self) -> &ObserverBox {
         &self.obs
@@ -212,6 +228,33 @@ impl Machine {
     /// finish a recording into a `RunTrace` after the workload ran.
     pub fn take_observer(&mut self) -> ObserverBox {
         std::mem::take(&mut self.obs)
+    }
+
+    /// Signals the end of observation: emits the final cumulative
+    /// [`Event::EnergySample`] (closing the last power-on interval's
+    /// energy accounting) and forwards `Observer::end`, which delivers
+    /// the terminating `RunEnd` and lets buffered sinks (the streaming
+    /// observer) flush. A no-op without an observer. Call once, after
+    /// the workload finished and before [`Machine::take_observer`].
+    pub fn end_observation(&mut self) {
+        if self.obs.enabled() {
+            self.emit_energy_sample();
+            self.obs.end(self.now);
+        }
+    }
+
+    /// Emits the cumulative harvested/consumed totals at `now`;
+    /// consecutive samples telescope into exact per-interval deltas.
+    fn emit_energy_sample(&mut self) {
+        if self.obs.enabled() {
+            self.obs.emit(
+                self.now,
+                Event::EnergySample {
+                    harvested_pj: self.harvested_pj,
+                    consumed_pj: self.meter.total(),
+                },
+            );
+        }
     }
 
     /// The error that aborted the run, if any.
@@ -258,6 +301,9 @@ impl Machine {
                 let harvested = self.cursor.advance(dt);
                 let eta = self.charging.efficiency(self.cap.voltage());
                 self.cap.charge_pj(harvested * eta);
+                if self.obs.enabled() {
+                    self.harvested_pj += harvested;
+                }
             }
             if self.meter.version() != self.drained_version {
                 let total = self.meter.total();
@@ -271,6 +317,10 @@ impl Machine {
             if self.obs.enabled() {
                 let th = self.design.thresholds();
                 Self::emit_crossings(&mut self.obs, &th, self.now, v_before, self.cap.voltage());
+                if self.obs_voltage && dt > 0 {
+                    let voltage = self.cap.voltage();
+                    self.obs.emit(self.now, Event::VoltageSample { voltage });
+                }
             }
         }
         self.last_sync = self.now;
@@ -278,6 +328,9 @@ impl Machine {
 
     /// Reports every named-rail crossing of the step `v0 → v1`.
     fn emit_crossings(obs: &mut ObserverBox, th: &VoltageThresholds, at: Ps, v0: f64, v1: f64) {
+        if !obs.enabled() {
+            return;
+        }
         for (rail, rising) in th.crossings(v0, v1).into_iter().flatten() {
             obs.emit(at, Event::VoltageCross { rail, rising });
         }
@@ -347,6 +400,9 @@ impl Machine {
         self.checkpoint_time_ps += self.now - fail_at;
         if self.obs.enabled() {
             let flushed_lines = self.stats.checkpoint_lines - ckpt_lines_before;
+            // Energy totals close the interval just before its
+            // CheckpointEnd.
+            self.emit_energy_sample();
             self.obs
                 .emit(self.now, Event::CheckpointEnd { flushed_lines });
         }
@@ -494,6 +550,13 @@ impl Machine {
                     self.off_time_ps += dt;
                     budget = budget.saturating_sub(dt);
                     self.cap.set_voltage(v_next);
+                    if self.obs.enabled() {
+                        self.harvested_pj += need / eta;
+                        if self.obs_voltage {
+                            self.obs
+                                .emit(self.now, Event::VoltageSample { voltage: v_next });
+                        }
+                    }
                 }
                 None => {
                     let at_ps = self.now;

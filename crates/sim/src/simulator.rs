@@ -81,6 +81,7 @@ impl Simulator {
         match outcome {
             Ok(checksum) => {
                 let report = Report::from_machine(&machine, &self.cfg, workload.name(), checksum);
+                machine.end_observation();
                 Ok((report, machine))
             }
             Err(payload) => {

@@ -23,6 +23,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "isa",
     "workloads",
     "obs",
+    "analyze",
 ];
 
 /// Crates whose arithmetic lands in picosecond/picojoule accounting and

@@ -15,6 +15,8 @@
 //! - [`ehsim_workloads`] — the 23 benchmark kernels.
 //! - [`ehsim_hwcost`] — CACTI-lite hardware cost model.
 //! - [`ehsim_isa`] — instruction-level frontend (assembler + RISC core).
+//! - [`ehsim_analyze`] — trace loading, cross-run diffing, voltage
+//!   trajectory export.
 //!
 //! # Examples
 //!
@@ -27,6 +29,7 @@
 //! ```
 
 pub use ehsim;
+pub use ehsim_analyze;
 pub use ehsim_cache;
 pub use ehsim_energy;
 pub use ehsim_hwcost;
