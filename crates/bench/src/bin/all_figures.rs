@@ -23,17 +23,23 @@ fn main() {
     let stats = exec::stats();
     let ips = stats.simulated_instructions as f64 / wall;
     eprintln!(
-        "[all_figures: {wall:.1}s wall, {} sims run, {} memoized, {} workers, {ips:.2e} simulated instr/s]",
+        "[all_figures: {wall:.1}s wall, {} sims run ({} replayed from {} traces), \
+         {} memoized, {} workers, {ips:.2e} simulated instr/s]",
         stats.sims_run,
+        stats.sims_replayed,
+        stats.traces_recorded,
         stats.memo_hits,
         exec::jobs(),
     );
     if bench {
         let json = format!(
-            "{{\n  \"wall_clock_seconds\": {wall:.3},\n  \"jobs\": {},\n  \"sims_run\": {},\n  \"memo_hits\": {},\n  \"simulated_instructions\": {},\n  \"simulated_instructions_per_second\": {ips:.1}\n}}\n",
+            "{{\n  \"wall_clock_seconds\": {wall:.3},\n  \"jobs\": {},\n  \"engine\": \"{}\",\n  \"sims_run\": {},\n  \"memo_hits\": {},\n  \"traces_recorded\": {},\n  \"sims_replayed\": {},\n  \"simulated_instructions\": {},\n  \"simulated_instructions_per_second\": {ips:.1}\n}}\n",
             exec::jobs(),
+            exec::engine(),
             stats.sims_run,
             stats.memo_hits,
+            stats.traces_recorded,
+            stats.sims_replayed,
             stats.simulated_instructions,
         );
         match std::fs::write("BENCH_sweep.json", &json) {

@@ -1,0 +1,155 @@
+//! Replay-engine benchmark: aggregate sweep throughput of trace-driven
+//! replay versus direct kernel execution, same-window pairing.
+//!
+//! Both windows run the *identical* set of simulations — every design
+//! in [`SimConfig::all_designs`] plus `WL-Cache(dyn)`, on Power
+//! Trace 1, across the full 23-kernel suite:
+//!
+//! * **direct** — the pre-replay production path, exactly as the sweep
+//!   engine's `EHSIM_EXACT` fallback pays it: each simulation
+//!   constructs the workload suite and re-executes its kernel on the
+//!   simulated machine.
+//! * **replay** — the trace-driven path: each workload's Bus stream is
+//!   recorded once (against a flat functional memory) inside the
+//!   window, then every simulation replays the shared trace. The
+//!   recording cost is charged to the replay window, so the reported
+//!   speedup is end-to-end, not amortized away.
+//!
+//! Every replayed [`Report`] is asserted equal, field for field, to its
+//! direct twin before any number is written — a benchmark that drifted
+//! from the byte-identity contract would abort instead of reporting.
+//! Results go to `BENCH_replay.json` (sims/sec per window plus the
+//! aggregate speedup). `--smoke` switches to the `Small` workload scale
+//! for CI smoke runs (numbers are then meaningless; the run only proves
+//! the harness and the equivalence assertion execute).
+
+use ehsim::{BusTrace, Report, SimConfig, Simulator};
+use ehsim_energy::TraceKind;
+use ehsim_mem::FunctionalMem;
+use ehsim_workloads::Scale;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The benchmarked configuration set: the five named designs plus the
+/// dynamic WL-Cache variant, all on the paper's Power Trace 1.
+fn configs() -> Vec<SimConfig> {
+    let mut cfgs = SimConfig::all_designs();
+    cfgs.push(SimConfig::wl_cache_dyn());
+    cfgs.into_iter()
+        .map(|c| c.with_trace(TraceKind::Rf1))
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Small } else { Scale::Default };
+    let cfgs = configs();
+    let n_workloads = ehsim_workloads::all23(scale).len();
+    let sims = cfgs.len() * n_workloads;
+
+    // --- direct window: per-sim suite construction + kernel execution.
+    let t0 = Instant::now();
+    let mut direct: Vec<Report> = Vec::with_capacity(sims);
+    for cfg in &cfgs {
+        for ix in 0..n_workloads {
+            let workloads = ehsim_workloads::all23(scale);
+            let w = &workloads[ix];
+            let r = Simulator::new(cfg.clone())
+                .run(w.as_ref())
+                .unwrap_or_else(|e| panic!("{} / {}: {e}", cfg.design.label(), w.name()));
+            direct.push(r);
+        }
+        eprintln!("replay_bench: direct   {:>12} done", cfg.design.label());
+    }
+    let direct_wall = t0.elapsed().as_secs_f64();
+
+    // --- replay window: record once per workload, then replay.
+    let t0 = Instant::now();
+    let traces: Vec<BusTrace> = ehsim_workloads::all23(scale)
+        .iter()
+        .map(|w| BusTrace::record(w.as_ref()))
+        .collect();
+    let record_wall = t0.elapsed().as_secs_f64();
+    let mut replayed: Vec<Report> = Vec::with_capacity(sims);
+    for cfg in &cfgs {
+        for trace in &traces {
+            let r = Simulator::new(cfg.clone())
+                .replay(trace)
+                .unwrap_or_else(|e| panic!("{} / {}: {e}", cfg.design.label(), trace.name()));
+            replayed.push(r);
+        }
+        eprintln!("replay_bench: replay   {:>12} done", cfg.design.label());
+    }
+    let replay_wall = t0.elapsed().as_secs_f64(); // includes recording
+
+    // --- decomposition: kernel-only window — per-sim suite
+    // construction plus kernel execution over flat memory, with no
+    // simulated machine. This is exactly the work replay removes from
+    // each simulation; the remainder of the direct window is machine
+    // simulation, which replay must still perform access-for-access.
+    let t0 = Instant::now();
+    for _ in 0..cfgs.len() {
+        for ix in 0..n_workloads {
+            let workloads = ehsim_workloads::all23(scale);
+            let w = &workloads[ix];
+            let mut mem = FunctionalMem::new(w.mem_bytes());
+            let _ = w.run(&mut mem);
+        }
+    }
+    let kernel_wall = t0.elapsed().as_secs_f64();
+    let machine_wall = (direct_wall - kernel_wall).max(0.0);
+    // Amdahl bound for trace-driven decoupling at this op mix: even a
+    // free replay path still pays the machine-simulation window.
+    let ceiling = if machine_wall > 0.0 {
+        direct_wall / machine_wall
+    } else {
+        f64::INFINITY
+    };
+
+    // --- equivalence gate: every pair identical, field for field.
+    assert_eq!(direct.len(), replayed.len());
+    for (d, r) in direct.iter().zip(&replayed) {
+        assert_eq!(
+            d, r,
+            "replay diverged from direct execution: {} / {}",
+            d.design, d.workload
+        );
+    }
+
+    let instructions: u64 = direct.iter().map(|r| r.instructions).sum();
+    let direct_sps = sims as f64 / direct_wall;
+    let replay_sps = sims as f64 / replay_wall;
+    let speedup = direct_wall / replay_wall;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"replay\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(json, "  \"jobs\": 1,");
+    let _ = writeln!(json, "  \"configs\": {},", cfgs.len());
+    let _ = writeln!(json, "  \"workloads\": {n_workloads},");
+    let _ = writeln!(json, "  \"sims_per_window\": {sims},");
+    let _ = writeln!(
+        json,
+        "  \"simulated_instructions_per_window\": {instructions},"
+    );
+    let _ = writeln!(json, "  \"direct_wall_s\": {direct_wall:.3},");
+    let _ = writeln!(json, "  \"direct_sims_per_second\": {direct_sps:.3},");
+    let _ = writeln!(json, "  \"record_wall_s\": {record_wall:.3},");
+    let _ = writeln!(json, "  \"replay_wall_s\": {replay_wall:.3},");
+    let _ = writeln!(json, "  \"replay_sims_per_second\": {replay_sps:.3},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"kernel_only_wall_s\": {kernel_wall:.3},");
+    let _ = writeln!(json, "  \"machine_wall_s\": {machine_wall:.3},");
+    let _ = writeln!(json, "  \"speedup_ceiling_same_window\": {ceiling:.3},");
+    let _ = writeln!(json, "  \"reports_identical\": true");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_replay.json", &json).expect("write BENCH_replay.json");
+    println!(
+        "replay_bench: {sims} sims — direct {direct_wall:.1} s ({direct_sps:.2} sims/s), \
+         replay {replay_wall:.1} s ({replay_sps:.2} sims/s), speedup {speedup:.2}x \
+         (same-window ceiling {ceiling:.2}x) -> BENCH_replay.json"
+    );
+}

@@ -1,4 +1,4 @@
-//! Parallel sweep executor with process-wide memoization.
+//! Parallel trace-driven sweep executor with process-wide memoization.
 //!
 //! Every figure/table regeneration is a *sweep*: a batch of independent
 //! `(SimConfig, workload, scale)` simulations whose reports are then
@@ -9,6 +9,22 @@
 //! the `NVSRAM(ideal)` baselines that almost every figure normalizes
 //! against — are simulated exactly once per process no matter how many
 //! figures request them.
+//!
+//! **Trace-driven execution.** Workloads are deterministic and their
+//! Bus access stream is design-independent, so the engine records each
+//! `(workload, scale)` stream once per process — one kernel execution
+//! against a flat memory ([`ehsim::BusTrace::record`]) — and *replays*
+//! the shared in-memory trace for every simulation of that workload
+//! ([`ehsim::Simulator::replay`]). Replay is bit-exact (see the
+//! `ehsim_mem::record` module docs for the argument and the
+//! replay-equivalence suite for the pin), and skips both the kernel's
+//! own computation and the per-sim workload construction, which
+//! dominated sweep wall-clock (`BENCH_replay.json` quantifies the
+//! speedup). Two environment switches exist for debugging:
+//! `EHSIM_EXACT=1` falls back to direct kernel execution for every
+//! simulation, and `EHSIM_REPLAY_CHECK=1` runs *both* paths and
+//! asserts the replayed [`Report`] equals the direct one
+//! field-for-field.
 //!
 //! Guarantees:
 //!
@@ -27,22 +43,27 @@
 //!   it, and floats are keyed by their exact bit patterns. Jobs
 //!   carrying a custom power trace are never memoized.
 //!
-//! Setting `EHSIM_SWEEP_SERIAL=1` bypasses both the pool and the cache
-//! (every job simulates inline, in order); the byte-identity test uses
-//! it to produce the serial reference.
+//! Setting `EHSIM_SWEEP_SERIAL=1` bypasses the pool, the memo cache
+//! *and* the replay engine (every job re-executes its kernel inline,
+//! in order); the byte-identity tests use it to produce the serial
+//! reference, so they also pin replay against direct execution across
+//! every figure.
 //!
-//! Setting `EHSIM_TRACE_WORKLOAD=<name>` additionally records an event
-//! timeline for every simulation of that workload: each one dumps a
-//! Chrome `trace_event` JSON, a per-interval metrics TSV, and a
+//! Setting `EHSIM_TRACE_WORKLOAD=<name>` additionally streams an event
+//! timeline for every simulation of that workload: each one writes a
 //! JSON-lines event stream (loadable by `ehsim-analyze` /
-//! `ehsim-cli diff-traces`) into `EHSIM_TRACE_DIR` (default
-//! `traces/`), named `<workload>__<design>__<trace>`. Recording does
-//! not change any simulated value, so figures regenerated with tracing
-//! on are byte-identical.
+//! `ehsim-cli diff-traces`, convertible to Chrome/interval exports
+//! with `ehsim-cli convert-trace`) into `EHSIM_TRACE_DIR` (default
+//! `traces/`), named `<workload>__<design>__<trace>.events.jsonl`.
+//! Events flow through a bounded-buffer [`StreamingObserver`] straight
+//! to disk, so tracing adds no per-event memory footprint, and
+//! observation does not change any simulated value, so figures
+//! regenerated with tracing on are byte-identical.
 
-use ehsim::{DesignKind, Report, SimConfig, Simulator};
+use ehsim::{BusTrace, DesignKind, ObserverBox, Report, SimConfig, Simulator};
 use ehsim_cache::ReplacementPolicy;
 use ehsim_energy::TraceKind;
+use ehsim_obs::StreamingObserver;
 use ehsim_workloads::Scale;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -83,12 +104,20 @@ pub struct ExecStats {
     pub memo_hits: u64,
     /// Total instructions retired across all executed simulations.
     pub simulated_instructions: u64,
+    /// Bus traces recorded (one kernel execution per `(workload,
+    /// scale)` the engine saw).
+    pub traces_recorded: u64,
+    /// Simulations satisfied by trace replay rather than direct kernel
+    /// execution.
+    pub sims_replayed: u64,
 }
 
 struct Counters {
     sims: AtomicU64,
     memo_hits: AtomicU64,
     instructions: AtomicU64,
+    traces: AtomicU64,
+    replays: AtomicU64,
 }
 
 fn counters() -> &'static Counters {
@@ -97,6 +126,8 @@ fn counters() -> &'static Counters {
         sims: AtomicU64::new(0),
         memo_hits: AtomicU64::new(0),
         instructions: AtomicU64::new(0),
+        traces: AtomicU64::new(0),
+        replays: AtomicU64::new(0),
     })
 }
 
@@ -112,6 +143,8 @@ pub fn stats() -> ExecStats {
         sims_run: c.sims.load(Ordering::Relaxed),
         memo_hits: c.memo_hits.load(Ordering::Relaxed),
         simulated_instructions: c.instructions.load(Ordering::Relaxed),
+        traces_recorded: c.traces.load(Ordering::Relaxed),
+        sims_replayed: c.replays.load(Ordering::Relaxed),
     }
 }
 
@@ -131,6 +164,72 @@ pub fn jobs() -> usize {
 
 fn serial_uncached() -> bool {
     std::env::var_os("EHSIM_SWEEP_SERIAL").is_some_and(|v| v != "0")
+}
+
+/// Execution-engine label for benchmark artifacts: `"replay"`
+/// normally, `"exact"` under `EHSIM_EXACT=1`, `"replay+check"` under
+/// `EHSIM_REPLAY_CHECK=1`.
+pub fn engine() -> &'static str {
+    if exact_mode() {
+        "exact"
+    } else if replay_check() {
+        "replay+check"
+    } else {
+        "replay"
+    }
+}
+
+/// `EHSIM_EXACT=1`: skip the replay engine, re-execute every kernel.
+fn exact_mode() -> bool {
+    std::env::var_os("EHSIM_EXACT").is_some_and(|v| v != "0")
+}
+
+/// `EHSIM_REPLAY_CHECK=1`: run replay *and* direct execution for every
+/// simulation and assert the reports identical (debug cross-check).
+fn replay_check() -> bool {
+    std::env::var_os("EHSIM_REPLAY_CHECK").is_some_and(|v| v != "0")
+}
+
+/// Name of workload `ix` in the fixed 23-kernel suite, without
+/// constructing the kernels (names are scale-independent and built
+/// once per process).
+fn workload_name(ix: usize) -> &'static str {
+    static NAMES: OnceLock<Vec<String>> = OnceLock::new();
+    NAMES
+        .get_or_init(|| {
+            ehsim_workloads::all23(Scale::Small)
+                .iter()
+                .map(|w| w.name().to_string())
+                .collect()
+        })
+        .get(ix)
+        .unwrap_or_else(|| panic!("workload index {ix} out of range"))
+}
+
+/// The process-wide shared Bus trace for `(workload, scale)`,
+/// recording it on first use. The map lock is held only to fetch the
+/// per-key cell; the recording itself runs under the cell's own
+/// `OnceLock`, so concurrent workers record distinct workloads in
+/// parallel and block only on the one they both need.
+fn shared_trace(workload: usize, scale: Scale) -> Arc<BusTrace> {
+    type Cell = Arc<OnceLock<Arc<BusTrace>>>;
+    static TRACES: OnceLock<Mutex<HashMap<(usize, Scale), Cell>>> = OnceLock::new();
+    let cell: Cell = {
+        let mut map = TRACES
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("trace cache poisoned");
+        Arc::clone(map.entry((workload, scale)).or_default())
+    };
+    let trace = cell.get_or_init(|| {
+        let workloads = ehsim_workloads::all23(scale);
+        let w = workloads
+            .get(workload)
+            .unwrap_or_else(|| panic!("workload index {workload} out of range"));
+        counters().traces.fetch_add(1, Ordering::Relaxed);
+        Arc::new(BusTrace::record(w.as_ref()))
+    });
+    Arc::clone(trace)
 }
 
 /// Canonical memo key: an injective word encoding of a [`Job`].
@@ -290,69 +389,115 @@ fn sanitize(label: &str) -> String {
         .collect()
 }
 
-/// Dumps the Chrome trace, interval metrics, and JSONL event stream
-/// for one traced simulation into `EHSIM_TRACE_DIR` (default
-/// `traces/`). Export failures only warn: a sweep must not die over a
-/// timeline.
-fn dump_trace(job: &Job, report: &Report, trace: &ehsim::RunTrace) {
+/// Opens the JSONL event-stream sink for one traced simulation:
+/// `EHSIM_TRACE_DIR` (default `traces/`) /
+/// `<workload>__<design>__<trace>.events.jsonl`. Events stream through
+/// a bounded buffer straight to disk (no in-RAM timeline); observation
+/// never perturbs the simulation, and open failures only warn and fall
+/// back to no observation — a sweep must not die over a timeline.
+fn stream_sink(job: &Job, workload: &str) -> ObserverBox {
     let dir = std::env::var("EHSIM_TRACE_DIR").unwrap_or_else(|_| "traces".into());
+    let dir = std::path::PathBuf::from(dir);
     let stem = format!(
         "{}__{}__{}",
-        sanitize(&report.workload),
-        sanitize(&report.design),
-        sanitize(report.trace)
+        sanitize(workload),
+        sanitize(job.cfg.design.label()),
+        sanitize(job.cfg.trace_label())
     );
-    let name = format!("{} / {} / {}", report.workload, report.design, report.trace);
-    let dir = std::path::Path::new(&dir);
-    let write = || -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        std::fs::write(
-            dir.join(format!("{stem}.trace.json")),
-            trace.chrome_trace(&name),
-        )?;
-        std::fs::write(
-            dir.join(format!("{stem}.intervals.tsv")),
-            trace.interval_metrics_tsv(),
-        )?;
-        std::fs::write(dir.join(format!("{stem}.events.jsonl")), trace.jsonl())
+    let open = || -> std::io::Result<StreamingObserver> {
+        std::fs::create_dir_all(&dir)?;
+        StreamingObserver::to_path(&dir.join(format!("{stem}.events.jsonl")))
     };
-    if let Err(e) = write() {
-        eprintln!(
-            "warning: failed to dump trace for {} ({}): {e}",
-            name,
-            job.cfg.trace_label()
-        );
+    match open() {
+        Ok(obs) => ObserverBox::custom(obs),
+        Err(e) => {
+            eprintln!("warning: failed to open event stream for {stem}: {e}");
+            ObserverBox::Noop
+        }
     }
 }
 
-/// Runs one job to completion, panicking with context on simulation
-/// errors (the harness treats them as fatal).
-fn simulate(job: &Job) -> Report {
+/// Direct execution: builds the kernel suite and re-runs the kernel on
+/// the simulated machine (the exact path; also the serial-reference
+/// path). Panics with context on simulation errors — the harness
+/// treats them as fatal.
+fn run_direct(job: &Job, streaming: bool) -> Report {
     let workloads = ehsim_workloads::all23(job.scale);
     let w = workloads
         .get(job.workload)
         .unwrap_or_else(|| panic!("workload index {} out of range", job.workload));
-    let label = job.cfg.design.label();
-    let trace = job.cfg.trace_label();
-    // A traced run is bit-identical to an untraced one (the observer
-    // only records), so routing the selected workload through
-    // `run_traced` cannot change any figure byte.
-    let report = if trace_workload() == Some(w.name()) {
-        Simulator::new(job.cfg.clone())
-            .run_traced(w.as_ref())
-            .map(|(report, run_trace)| {
-                dump_trace(job, &report, &run_trace);
-                report
-            })
+    let obs = if streaming {
+        stream_sink(job, w.name())
     } else {
-        Simulator::new(job.cfg.clone()).run(w.as_ref())
-    }
-    .unwrap_or_else(|e| panic!("{label} / {} on {trace}: {e}", w.name()));
+        ObserverBox::Noop
+    };
+    Simulator::new(job.cfg.clone())
+        .run_with(w.as_ref(), obs)
+        .map(|(report, _)| report)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} / {} on {}: {e}",
+                job.cfg.design.label(),
+                w.name(),
+                job.cfg.trace_label()
+            )
+        })
+}
+
+/// Trace-driven execution: replays the process-wide shared Bus trace
+/// for this job's workload (recording it on first use).
+fn run_replay(job: &Job, streaming: bool) -> Report {
+    let trace = shared_trace(job.workload, job.scale);
+    let obs = if streaming {
+        stream_sink(job, trace.name())
+    } else {
+        ObserverBox::Noop
+    };
+    counters().replays.fetch_add(1, Ordering::Relaxed);
+    Simulator::new(job.cfg.clone())
+        .replay_with(&trace, obs)
+        .map(|(report, _)| report)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} / {} on {} (replay): {e}",
+                job.cfg.design.label(),
+                trace.name(),
+                job.cfg.trace_label()
+            )
+        })
+}
+
+/// Runs one job to completion via the replay engine (or directly under
+/// `EHSIM_EXACT`), updating the process-wide counters.
+fn simulate(job: &Job) -> Report {
+    let streaming = trace_workload() == Some(workload_name(job.workload));
+    let report = if exact_mode() {
+        run_direct(job, streaming)
+    } else {
+        let replayed = run_replay(job, streaming);
+        if replay_check() {
+            let direct = run_direct(job, false);
+            assert_eq!(
+                direct,
+                replayed,
+                "replay diverged from direct execution: {} / {} on {}",
+                job.cfg.design.label(),
+                workload_name(job.workload),
+                job.cfg.trace_label()
+            );
+        }
+        replayed
+    };
+    count(&report);
+    report
+}
+
+/// Counter bump shared by the engine and serial-reference paths.
+fn count(report: &Report) {
     let c = counters();
     c.sims.fetch_add(1, Ordering::Relaxed);
     c.instructions
         .fetch_add(report.instructions, Ordering::Relaxed);
-    report
 }
 
 enum Slot {
@@ -367,7 +512,18 @@ enum Slot {
 /// execute on a [`std::thread::scope`] work queue of [`jobs`] workers.
 pub fn run_batch(batch: &[Job]) -> Vec<Arc<Report>> {
     if serial_uncached() {
-        return batch.iter().map(|j| Arc::new(simulate(j))).collect();
+        // The serial reference always re-executes kernels directly, so
+        // byte-identity tests comparing the engine against it pin the
+        // replay engine to direct execution across every figure.
+        return batch
+            .iter()
+            .map(|j| {
+                let streaming = trace_workload() == Some(workload_name(j.workload));
+                let report = run_direct(j, streaming);
+                count(&report);
+                Arc::new(report)
+            })
+            .collect();
     }
 
     // Resolve against the cache and deduplicate within the batch.

@@ -13,9 +13,8 @@ use ehsim_obs::ObserverBox;
 /// to the operation's start time; designs return absolute completion
 /// times. Energy is *recorded* into [`MemCtx::meter`]; the machine drains
 /// the capacitor by the meter's delta after the call, so designs never
-/// manipulate the capacitor directly. `cap_voltage` / `cap_energy_pj`
-/// are read-only observations used by WL-Cache's opportunistic dynamic
-/// adaptation (§4).
+/// manipulate the capacitor directly. `cap_voltage` is a read-only
+/// observation used by WL-Cache's opportunistic dynamic adaptation (§4).
 #[derive(Debug)]
 pub struct MemCtx<'a> {
     /// Current simulation time (start of the operation).
@@ -34,8 +33,6 @@ pub struct MemCtx<'a> {
     pub stats: &'a mut CacheStats,
     /// Capacitor voltage at `now` (read-only observation).
     pub cap_voltage: f64,
-    /// Capacitor energy above `Vmin` at `now`, in pJ (read-only).
-    pub cap_energy_pj: Pj,
     /// Event sink (observation only — never influences behaviour).
     /// Instrumented designs guard emission with
     /// [`ObserverBox::enabled`] so the default no-op costs nothing.
@@ -210,7 +207,6 @@ mod tests {
                 meter: &mut meter,
                 stats: &mut stats,
                 cap_voltage: 3.3,
-                cap_energy_pj: 1e6,
                 obs: &mut obs,
             };
             f(&mut ctx);

@@ -291,7 +291,6 @@ mod tests {
                 meter: &mut self.meter,
                 stats: &mut self.stats,
                 cap_voltage: 3.3,
-                cap_energy_pj: 1e6,
                 obs: &mut self.obs,
             }
         }

@@ -122,6 +122,7 @@ impl WlCacheBuilder {
             dq_policy: self.dq_policy,
             wl_stats: WlStats::default(),
             cleanings_this_interval: 0,
+            vth: VoltageThresholds::wl(self.thresholds.maxline(), self.thresholds.dq_capacity()),
         }
     }
 }
@@ -144,6 +145,14 @@ pub struct WlCache {
     dq_policy: DqPolicy,
     wl_stats: WlStats,
     cleanings_this_interval: u64,
+    /// Mirror of `VoltageThresholds::wl(maxline, dq_capacity)` for the
+    /// controller's current thresholds. The machine polls
+    /// [`CacheDesign::thresholds`] after every settled operation, while
+    /// `maxline` changes only at reboot reconfiguration or a dynamic
+    /// raise — so the interpolation is evaluated at those (rare) change
+    /// points and the per-settle poll is a plain copy of the identical
+    /// value.
+    vth: VoltageThresholds,
 }
 
 impl WlCache {
@@ -177,6 +186,13 @@ impl WlCache {
     /// Current DirtyQueue occupancy.
     pub fn dq_len(&self) -> usize {
         self.dq.len()
+    }
+
+    /// Re-derives the cached [`VoltageThresholds`] mirror after the
+    /// controller's thresholds changed.
+    fn resync_vth(&mut self) {
+        let t = self.controller.thresholds();
+        self.vth = VoltageThresholds::wl(t.maxline(), t.dq_capacity());
     }
 
     /// Recency stamp of the (still-dirty) line at `base`, or `None` if
@@ -265,6 +281,7 @@ impl WlCache {
             );
             let headroom_ok = ctx.cap_voltage > next.v_backup + DYN_RAISE_HEADROOM_V;
             if self.controller.try_dynamic_raise(headroom_ok).is_some() {
+                self.resync_vth();
                 self.wl_stats.dyn_raises += 1;
                 if ctx.obs.enabled() {
                     let maxline = self.controller.thresholds().maxline();
@@ -309,8 +326,7 @@ impl CacheDesign for WlCache {
     }
 
     fn thresholds(&self) -> VoltageThresholds {
-        let t = self.controller.thresholds();
-        VoltageThresholds::wl(t.maxline(), t.dq_capacity())
+        self.vth
     }
 
     fn load(&mut self, ctx: &mut MemCtx<'_>, addr: u32, size: AccessSize) -> (Ps, u64) {
@@ -391,6 +407,7 @@ impl CacheDesign for WlCache {
         // power-on time; Vbackup/Von follow via `thresholds()`.
         let before = self.controller.thresholds();
         self.controller.on_interval_end(on_time_ps);
+        self.resync_vth();
         let after = self.controller.thresholds();
         if ctx.obs.enabled() && after != before {
             ctx.obs.emit(
@@ -459,7 +476,6 @@ mod tests {
                 meter: &mut self.meter,
                 stats: &mut self.stats,
                 cap_voltage: self.voltage,
-                cap_energy_pj: 1e6,
                 obs: &mut self.obs,
             }
         }

@@ -111,7 +111,6 @@ impl ProtoState {
             meter,
             stats,
             cap_voltage: 3.3,
-            cap_energy_pj: 1e9,
             obs,
         };
         f(cache, &mut ctx)

@@ -52,6 +52,7 @@ mod report;
 mod simulator;
 
 pub use config::{DesignKind, SimConfig};
+pub use ehsim_mem::{BusOp, BusTrace, TraceRecorder};
 pub use ehsim_obs::{Event, ObserverBox, Recorder, RunTrace};
 pub use error::SimError;
 pub use machine::Machine;

@@ -576,7 +576,6 @@ impl Machine {
     /// `f`'s result (usually a completion time).
     fn with_ctx<R>(&mut self, f: impl FnOnce(&mut DesignBox, &mut MemCtx<'_>) -> R) -> R {
         let cap_voltage = self.cap.voltage();
-        let cap_energy_pj = self.cap.energy_above_min_pj();
         let mut ctx = MemCtx {
             now: self.now,
             port: &mut self.port,
@@ -586,7 +585,6 @@ impl Machine {
             meter: &mut self.meter,
             stats: &mut self.stats,
             cap_voltage,
-            cap_energy_pj,
             obs: &mut self.obs,
         };
         f(&mut self.design, &mut ctx)

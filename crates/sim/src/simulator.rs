@@ -3,7 +3,7 @@
 use crate::machine::{Abort, Machine};
 use crate::report::Report;
 use crate::{SimConfig, SimError};
-use ehsim_mem::Workload;
+use ehsim_mem::{Bus, BusOp, BusTrace, Workload};
 use ehsim_obs::{ObserverBox, RunTrace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -84,23 +84,84 @@ impl Simulator {
                 machine.end_observation();
                 Ok((report, machine))
             }
-            Err(payload) => {
-                if let Some(err) = machine.take_error() {
-                    return Err(err);
-                }
-                let msg = if payload.is::<Abort>() {
-                    "machine aborted without a recorded error".to_string()
-                } else if let Some(s) = payload.downcast_ref::<&'static str>() {
-                    (*s).to_string()
-                } else if let Some(s) = payload.downcast_ref::<String>() {
-                    s.clone()
-                } else {
-                    "non-string panic payload".to_string()
-                };
-                Err(SimError::WorkloadPanic(msg))
-            }
+            Err(payload) => Err(abort_error(&mut machine, payload)),
         }
     }
+
+    /// Replays a recorded [`BusTrace`] on a fresh machine.
+    ///
+    /// This is the trace-driven twin of [`Simulator::run`]: the machine
+    /// is driven from the captured op stream instead of re-executing the
+    /// kernel, issuing each load/store/compute in recorded program order
+    /// so the capacitor settles after every operation exactly as it does
+    /// under direct execution. The resulting [`Report`] is
+    /// **bit-identical** to running the original workload (stores carry
+    /// zero values, which timing/energy/stats never observe; the
+    /// recorded kernel checksum is reported — see the
+    /// `ehsim_mem::record` module docs for the full exactness argument,
+    /// and the replay-equivalence suite for the pin).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Simulator::run`].
+    pub fn replay(&self, trace: &BusTrace) -> Result<Report, SimError> {
+        self.replay_with(trace, ObserverBox::Noop)
+            .map(|(report, _)| report)
+    }
+
+    /// Replays `trace` with a caller-supplied observer; the machine is
+    /// returned for observer retrieval, as in [`Simulator::run_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Simulator::run`].
+    pub fn replay_with(
+        &self,
+        trace: &BusTrace,
+        obs: ObserverBox,
+    ) -> Result<(Report, Machine), SimError> {
+        let mut machine = Machine::with_observer(&self.cfg, trace.mem_bytes(), obs);
+        // Statically dispatched drive loop: `Machine`'s own Bus methods,
+        // no `dyn Bus` indirection on the hot path.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            for op in trace.cursor() {
+                match op {
+                    BusOp::Load { addr, size } => {
+                        machine.load(addr, size);
+                    }
+                    BusOp::Store { addr, size } => machine.store(addr, size, 0),
+                    BusOp::Compute { cycles } => machine.compute(cycles),
+                }
+            }
+        }));
+        match outcome {
+            Ok(()) => {
+                let report =
+                    Report::from_machine(&machine, &self.cfg, trace.name(), trace.checksum());
+                machine.end_observation();
+                Ok((report, machine))
+            }
+            Err(payload) => Err(abort_error(&mut machine, payload)),
+        }
+    }
+}
+
+/// Converts a caught panic into the [`SimError`] the machine recorded
+/// before aborting, or a [`SimError::WorkloadPanic`] for genuine panics.
+fn abort_error(machine: &mut Machine, payload: Box<dyn std::any::Any + Send>) -> SimError {
+    if let Some(err) = machine.take_error() {
+        return err;
+    }
+    let msg = if payload.is::<Abort>() {
+        "machine aborted without a recorded error".to_string()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    };
+    SimError::WorkloadPanic(msg)
 }
 
 #[cfg(test)]
@@ -189,6 +250,30 @@ mod tests {
         // One PowerOn per power-on interval: boot + one per outage.
         assert_eq!(trace.counters.power_ons, traced.outages + 1);
         assert_eq!(trace.histograms.dirty_at_checkpoint.count(), traced.outages);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_direct_execution() {
+        let w = Stream { words: 4096 };
+        let trace = BusTrace::record(&w);
+        for kind in [TraceKind::None, TraceKind::Rf1] {
+            for cfg in SimConfig::all_designs() {
+                let cfg = cfg.with_trace(kind).with_verify();
+                let label = cfg.design.label();
+                let sim = Simulator::new(cfg);
+                let direct = sim
+                    .run(&w)
+                    .unwrap_or_else(|e| panic!("{label} direct on {kind:?}: {e}"));
+                let replayed = sim
+                    .replay(&trace)
+                    .unwrap_or_else(|e| panic!("{label} replay on {kind:?}: {e}"));
+                assert_eq!(direct, replayed, "{label} on {kind:?}");
+                // The Workload impl on BusTrace goes through dyn
+                // dispatch but must land in the same place.
+                let via_workload = sim.run(&trace).unwrap();
+                assert_eq!(direct, via_workload, "{label} on {kind:?} (dyn)");
+            }
+        }
     }
 
     #[test]
