@@ -24,22 +24,27 @@ fn main() {
     let ips = stats.simulated_instructions as f64 / wall;
     eprintln!(
         "[all_figures: {wall:.1}s wall, {} sims run ({} replayed from {} traces), \
-         {} memoized, {} workers, {ips:.2e} simulated instr/s]",
+         {} memoized, {} deduped, {} trace-cache hits, {} workers, \
+         {ips:.2e} simulated instr/s]",
         stats.sims_run,
         stats.sims_replayed,
         stats.traces_recorded,
         stats.memo_hits,
+        stats.sims_deduped,
+        stats.trace_cache_hits,
         exec::jobs(),
     );
     if bench {
         let json = format!(
-            "{{\n  \"wall_clock_seconds\": {wall:.3},\n  \"jobs\": {},\n  \"engine\": \"{}\",\n  \"sims_run\": {},\n  \"memo_hits\": {},\n  \"traces_recorded\": {},\n  \"sims_replayed\": {},\n  \"simulated_instructions\": {},\n  \"simulated_instructions_per_second\": {ips:.1}\n}}\n",
+            "{{\n  \"wall_clock_seconds\": {wall:.3},\n  \"jobs\": {},\n  \"engine\": \"{}\",\n  \"sims_run\": {},\n  \"memo_hits\": {},\n  \"traces_recorded\": {},\n  \"sims_replayed\": {},\n  \"sims_deduped\": {},\n  \"trace_cache_hits\": {},\n  \"simulated_instructions\": {},\n  \"simulated_instructions_per_second\": {ips:.1}\n}}\n",
             exec::jobs(),
             exec::engine(),
             stats.sims_run,
             stats.memo_hits,
             stats.traces_recorded,
             stats.sims_replayed,
+            stats.sims_deduped,
+            stats.trace_cache_hits,
             stats.simulated_instructions,
         );
         match std::fs::write("BENCH_sweep.json", &json) {

@@ -24,7 +24,30 @@
 //! `EHSIM_EXACT=1` falls back to direct kernel execution for every
 //! simulation, and `EHSIM_REPLAY_CHECK=1` runs *both* paths and
 //! asserts the replayed [`Report`] equals the direct one
-//! field-for-field.
+//! field-for-field. `EHSIM_BATCH_CHECK=1` is the settlement twin: it
+//! runs every simulation through both the batched settlement engine
+//! and the per-retire reference path and asserts the reports
+//! identical.
+//!
+//! **Trace-content dedup.** Workloads issuing the byte-identical Bus
+//! stream need only one simulation per configuration (the encoding is
+//! canonical, so byte equality ⟺ op equality — today's suite has no
+//! such pair, see `tests/trace_dedup.rs`, but the machinery stays
+//! armed). The engine fingerprints every recorded trace
+//! (FNV over the canonical encoding), confirms candidate matches
+//! byte-for-byte, and redirects a twin's memo key to the first
+//! workload recorded with that content — so each shared pattern
+//! simulates once per configuration, and the twin's report is the
+//! canonical one with its own name and kernel checksum restored.
+//! Dedup applies to the replay engine only (`EHSIM_EXACT=1` re-executes
+//! every kernel for real); hits are counted in [`ExecStats`].
+//!
+//! **Persistent trace store.** `EHSIM_TRACE_CACHE=<dir>` keeps
+//! recorded `.bustrace` files across processes, keyed on (workload,
+//! scale, format version): a warm store lets a sweep skip kernel
+//! recording entirely. Loads are validated by the trace-file decode
+//! walk + payload checksum plus a workload-name check; validation
+//! failures fall back to recording and refresh the store entry.
 //!
 //! Guarantees:
 //!
@@ -110,6 +133,12 @@ pub struct ExecStats {
     /// Simulations satisfied by trace replay rather than direct kernel
     /// execution.
     pub sims_replayed: u64,
+    /// Batch entries served with another workload's simulation because
+    /// the two op streams are content-identical (trace dedup).
+    pub sims_deduped: u64,
+    /// Bus traces loaded from the persistent `EHSIM_TRACE_CACHE` store
+    /// instead of recorded.
+    pub trace_cache_hits: u64,
 }
 
 struct Counters {
@@ -118,6 +147,8 @@ struct Counters {
     instructions: AtomicU64,
     traces: AtomicU64,
     replays: AtomicU64,
+    deduped: AtomicU64,
+    trace_cache_hits: AtomicU64,
 }
 
 fn counters() -> &'static Counters {
@@ -128,6 +159,8 @@ fn counters() -> &'static Counters {
         instructions: AtomicU64::new(0),
         traces: AtomicU64::new(0),
         replays: AtomicU64::new(0),
+        deduped: AtomicU64::new(0),
+        trace_cache_hits: AtomicU64::new(0),
     })
 }
 
@@ -145,6 +178,8 @@ pub fn stats() -> ExecStats {
         simulated_instructions: c.instructions.load(Ordering::Relaxed),
         traces_recorded: c.traces.load(Ordering::Relaxed),
         sims_replayed: c.replays.load(Ordering::Relaxed),
+        sims_deduped: c.deduped.load(Ordering::Relaxed),
+        trace_cache_hits: c.trace_cache_hits.load(Ordering::Relaxed),
     }
 }
 
@@ -167,15 +202,17 @@ fn serial_uncached() -> bool {
 }
 
 /// Execution-engine label for benchmark artifacts: `"replay"`
-/// normally, `"exact"` under `EHSIM_EXACT=1`, `"replay+check"` under
-/// `EHSIM_REPLAY_CHECK=1`.
+/// normally, `"exact"` under `EHSIM_EXACT=1`, with `+check`
+/// (`EHSIM_REPLAY_CHECK=1`) and `+batch-check` (`EHSIM_BATCH_CHECK=1`)
+/// suffixes for the dual-path cross-check modes.
 pub fn engine() -> &'static str {
-    if exact_mode() {
-        "exact"
-    } else if replay_check() {
-        "replay+check"
-    } else {
-        "replay"
+    match (exact_mode(), replay_check(), batch_check()) {
+        (true, _, false) => "exact",
+        (true, _, true) => "exact+batch-check",
+        (false, false, false) => "replay",
+        (false, true, false) => "replay+check",
+        (false, false, true) => "replay+batch-check",
+        (false, true, true) => "replay+check+batch-check",
     }
 }
 
@@ -188,6 +225,27 @@ fn exact_mode() -> bool {
 /// simulation and assert the reports identical (debug cross-check).
 fn replay_check() -> bool {
     std::env::var_os("EHSIM_REPLAY_CHECK").is_some_and(|v| v != "0")
+}
+
+/// `EHSIM_BATCH_CHECK=1`: run every simulation through *both*
+/// settlement engines — the default batched one and the per-retire
+/// reference path — and assert the reports field-for-field identical
+/// (the settlement twin of `EHSIM_REPLAY_CHECK`).
+fn batch_check() -> bool {
+    std::env::var_os("EHSIM_BATCH_CHECK").is_some_and(|v| v != "0")
+}
+
+/// `EHSIM_TRACE_CACHE=<dir>`: the persistent `.bustrace` store. Keyed
+/// on (workload, scale, format version); a warm store lets a sweep
+/// skip kernel recording entirely.
+fn trace_cache_dir() -> Option<&'static std::path::Path> {
+    static D: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+    D.get_or_init(|| {
+        std::env::var_os("EHSIM_TRACE_CACHE")
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from)
+    })
+    .as_deref()
 }
 
 /// Name of workload `ix` in the fixed 23-kernel suite, without
@@ -206,11 +264,37 @@ fn workload_name(ix: usize) -> &'static str {
         .unwrap_or_else(|| panic!("workload index {ix} out of range"))
 }
 
+/// Filename fragment for a [`Scale`].
+fn scale_label(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Small => "small",
+        Scale::Default => "default",
+    }
+}
+
+/// Persistent-store path for `(workload, scale)`. The `v1` component
+/// is the trace-file format version: a future format bump changes the
+/// key, so stale-format files are never even opened (and would be
+/// rejected by load-time validation if they were).
+fn trace_cache_path(dir: &std::path::Path, workload: usize, scale: Scale) -> std::path::PathBuf {
+    dir.join(format!(
+        "{}__{}__v1.bustrace",
+        sanitize(workload_name(workload)),
+        scale_label(scale)
+    ))
+}
+
 /// The process-wide shared Bus trace for `(workload, scale)`,
 /// recording it on first use. The map lock is held only to fetch the
 /// per-key cell; the recording itself runs under the cell's own
 /// `OnceLock`, so concurrent workers record distinct workloads in
 /// parallel and block only on the one they both need.
+///
+/// With `EHSIM_TRACE_CACHE=<dir>` set, first use tries the persistent
+/// store before recording: a loaded file passes the full decode walk
+/// and payload checksum ([`BusTrace::load`]) plus a workload-name check
+/// here, and anything that fails validation simply falls back to
+/// recording (which then refreshes the store entry, best-effort).
 fn shared_trace(workload: usize, scale: Scale) -> Arc<BusTrace> {
     type Cell = Arc<OnceLock<Arc<BusTrace>>>;
     static TRACES: OnceLock<Mutex<HashMap<(usize, Scale), Cell>>> = OnceLock::new();
@@ -222,14 +306,84 @@ fn shared_trace(workload: usize, scale: Scale) -> Arc<BusTrace> {
         Arc::clone(map.entry((workload, scale)).or_default())
     };
     let trace = cell.get_or_init(|| {
+        if let Some(dir) = trace_cache_dir() {
+            if let Ok(t) = BusTrace::load(&trace_cache_path(dir, workload, scale)) {
+                if t.name() == workload_name(workload) {
+                    counters().trace_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::new(t);
+                }
+            }
+        }
         let workloads = ehsim_workloads::all23(scale);
         let w = workloads
             .get(workload)
             .unwrap_or_else(|| panic!("workload index {workload} out of range"));
         counters().traces.fetch_add(1, Ordering::Relaxed);
-        Arc::new(BusTrace::record(w.as_ref()))
+        let t = BusTrace::record(w.as_ref());
+        if let Some(dir) = trace_cache_dir() {
+            let path = trace_cache_path(dir, workload, scale);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!(
+                    "warning: cannot create trace cache dir {}: {e}",
+                    dir.display()
+                );
+            } else if let Err(e) = t.save(&path) {
+                eprintln!("warning: failed to persist {}: {e}", path.display());
+            }
+        }
+        Arc::new(t)
     });
     Arc::clone(trace)
+}
+
+/// The canonical workload index for `workload`'s trace *content*:
+/// op-identical workloads collapse onto the first index registered for
+/// their content, so the memo cache simulates the shared access
+/// pattern once per configuration. Fingerprint matches are confirmed
+/// byte-for-byte ([`BusTrace::same_ops`]) before any sharing happens —
+/// an FNV collision costs a redundant simulation, never a wrong
+/// report. Today's suite has no content-identical pairs (the nominal
+/// susan/jpeg twins diverge mid-stream; see `tests/trace_dedup.rs`),
+/// so this map is currently the identity.
+fn canonical_workload(workload: usize, scale: Scale) -> usize {
+    /// Fingerprint registry: (scale, payload FNV, mem_bytes) → workload
+    /// indices that share the fingerprint, in registration order.
+    type ContentReg = HashMap<(Scale, u64, u32), Vec<usize>>;
+    static MEMO: OnceLock<Mutex<HashMap<(usize, Scale), usize>>> = OnceLock::new();
+    static REG: OnceLock<Mutex<ContentReg>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&canon) = memo
+        .lock()
+        .expect("dedup memo poisoned")
+        .get(&(workload, scale))
+    {
+        return canon;
+    }
+    let own = shared_trace(workload, scale);
+    let canon = {
+        let mut reg = REG
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("dedup registry poisoned");
+        let candidates = reg
+            .entry((scale, own.content_fnv(), own.mem_bytes()))
+            .or_default();
+        let found = candidates
+            .iter()
+            .copied()
+            .find(|&ix| ix == workload || shared_trace(ix, scale).same_ops(&own));
+        match found {
+            Some(ix) => ix,
+            None => {
+                candidates.push(workload);
+                workload
+            }
+        }
+    };
+    memo.lock()
+        .expect("dedup memo poisoned")
+        .insert((workload, scale), canon);
+    canon
 }
 
 /// Canonical memo key: an injective word encoding of a [`Job`].
@@ -488,6 +642,25 @@ fn simulate(job: &Job) -> Report {
         }
         replayed
     };
+    if batch_check() {
+        // Same simulation again, but with every machine constructed on
+        // the per-retire reference settlement path.
+        let reference = ehsim::with_settle_batching_disabled(|| {
+            if exact_mode() {
+                run_direct(job, false)
+            } else {
+                run_replay(job, false)
+            }
+        });
+        assert_eq!(
+            reference,
+            report,
+            "batched settlement diverged from the per-retire reference: {} / {} on {}",
+            job.cfg.design.label(),
+            workload_name(job.workload),
+            job.cfg.trace_label()
+        );
+    }
     count(&report);
     report
 }
@@ -526,6 +699,27 @@ pub fn run_batch(batch: &[Job]) -> Vec<Arc<Report>> {
             .collect();
     }
 
+    // Compute memo keys first, redirecting each job to its content
+    // dedup canonical workload (this may record traces, so it happens
+    // outside the cache lock). Exact mode opts out: it exists to
+    // re-execute every kernel for real, which sharing would undercut.
+    let dedup = !exact_mode();
+    let keys: Vec<Option<MemoKey>> = batch
+        .iter()
+        .map(|job| {
+            let key = memo_key(job)?;
+            if dedup {
+                let canon = canonical_workload(job.workload, job.scale);
+                if canon != job.workload {
+                    let mut twin = job.clone();
+                    twin.workload = canon;
+                    return memo_key(&twin);
+                }
+            }
+            Some(key)
+        })
+        .collect();
+
     // Resolve against the cache and deduplicate within the batch.
     let mut slots: Vec<Slot> = Vec::with_capacity(batch.len());
     let mut misses: Vec<&Job> = Vec::new();
@@ -533,8 +727,8 @@ pub fn run_batch(batch: &[Job]) -> Vec<Arc<Report>> {
     {
         let cache = cache().lock().expect("sweep cache poisoned");
         let mut pending: HashMap<MemoKey, usize> = HashMap::new();
-        for job in batch {
-            match memo_key(job) {
+        for (job, key) in batch.iter().zip(keys) {
+            match key {
                 Some(key) => {
                     if let Some(hit) = cache.get(&key) {
                         counters().memo_hits.fetch_add(1, Ordering::Relaxed);
@@ -597,11 +791,42 @@ pub fn run_batch(batch: &[Job]) -> Vec<Arc<Report>> {
     }
     slots
         .into_iter()
-        .map(|slot| match slot {
-            Slot::Done(r) => r,
-            Slot::Pending(ix) => Arc::clone(&results[ix]),
+        .zip(batch)
+        .map(|(slot, job)| {
+            let report = match slot {
+                Slot::Done(r) => r,
+                Slot::Pending(ix) => Arc::clone(&results[ix]),
+            };
+            // A report carrying another workload's name means this entry
+            // was served through the content-dedup canonical key. All
+            // simulated fields are shared (the op streams are
+            // byte-identical), but the report's identity is this job's:
+            // restore its own name and recorded kernel checksum.
+            let own_name = workload_name(job.workload);
+            if report.workload != own_name {
+                counters().deduped.fetch_add(1, Ordering::Relaxed);
+                let mut patched = (*report).clone();
+                patched.workload = own_name.to_string();
+                patched.checksum = shared_trace(job.workload, job.scale).checksum();
+                Arc::new(patched)
+            } else {
+                report
+            }
         })
         .collect()
+}
+
+/// The content-dedup canonical index of every suite workload at
+/// `scale` (diagnostics and tests; records any not-yet-recorded
+/// traces). `map[i] == i` means workload `i` is its own canonical
+/// representative. As of this writing the map is the identity — the
+/// suite's nominal twin pairs (susancorners/susanedges,
+/// jpegdecode/jpegencode) match in op *counts* but diverge in their
+/// access streams, so no sharing is currently possible; the engine
+/// stands ready should a future suite change produce true twins.
+pub fn canonical_map(scale: Scale) -> Vec<usize> {
+    let n = ehsim_workloads::all23(scale).len();
+    (0..n).map(|w| canonical_workload(w, scale)).collect()
 }
 
 /// Runs the full 23-workload suite for each configuration, sharing one

@@ -1,0 +1,77 @@
+//! Determinism pin for the batched settlement engine over every fig13a
+//! configuration: the default path and the `EHSIM_NO_BATCH` reference
+//! path (entered programmatically via
+//! [`ehsim::with_settle_batching_disabled`], which is exactly what the
+//! env switch gates at machine construction) must produce
+//! field-for-field identical [`ehsim::Report`]s for all 5 designs × 5
+//! harvesting traces of the paper's headline figure.
+
+use ehsim::{with_settle_batching_disabled, SimConfig, Simulator};
+use ehsim_energy::TraceKind;
+use ehsim_workloads::{all23, Scale};
+
+#[test]
+fn every_fig13a_config_is_engine_invariant() {
+    let designs: Vec<SimConfig> = vec![
+        SimConfig::nvsram(),
+        SimConfig::vcache_wt(),
+        SimConfig::replay(),
+        SimConfig::wl_cache(),
+        SimConfig::wl_cache_dyn(),
+    ];
+    let traces = [
+        TraceKind::Rf1,
+        TraceKind::Rf2,
+        TraceKind::Rf3,
+        TraceKind::Solar,
+        TraceKind::Thermal,
+    ];
+    // A cross-section of the suite, not all 23 (debug-mode runtime):
+    // pointer-chasing, bus-heavy image code, and a dense hash kernel.
+    let picks = ["dijkstra", "susancorners", "sha"];
+    let workloads = all23(Scale::Small);
+    let picked: Vec<_> = picks
+        .iter()
+        .map(|n| {
+            workloads
+                .iter()
+                .find(|w| w.name() == *n)
+                .unwrap_or_else(|| panic!("workload {n} missing from suite"))
+        })
+        .collect();
+    for design in &designs {
+        for &trace in &traces {
+            let cfg = design.clone().with_trace(trace);
+            for w in &picked {
+                let batched = Simulator::new(cfg.clone())
+                    .run(w.as_ref())
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} / {} on {}: {e}",
+                            cfg.design.label(),
+                            w.name(),
+                            cfg.trace_label()
+                        )
+                    });
+                let reference =
+                    with_settle_batching_disabled(|| Simulator::new(cfg.clone()).run(w.as_ref()))
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{} / {} on {}: {e}",
+                                cfg.design.label(),
+                                w.name(),
+                                cfg.trace_label()
+                            )
+                        });
+                assert_eq!(
+                    batched,
+                    reference,
+                    "settlement engines diverged: {} / {} on {}",
+                    cfg.design.label(),
+                    w.name(),
+                    cfg.trace_label()
+                );
+            }
+        }
+    }
+}

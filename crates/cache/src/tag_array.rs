@@ -68,6 +68,8 @@ impl TagArray {
     pub fn new(geom: CacheGeometry, policy: ReplacementPolicy) -> Self {
         let n = geom.n_lines() as usize;
         let line_bytes = geom.line_bytes();
+        // `lookup` packs one hit bit per way into a u64 mask.
+        assert!(geom.ways() <= 64, "lookup's hit mask holds at most 64 ways");
         Self {
             geom,
             policy,
@@ -127,8 +129,45 @@ impl TagArray {
     }
 
     /// Finds the slot holding `addr`'s line, if present and valid.
+    ///
+    /// The scan is a branchless compare over the set's slice of the SoA
+    /// tag vector: each way contributes one bit to a hit mask, and the
+    /// lowest set bit picks the (unique, but lowest-way by construction)
+    /// hit. With no early exit or data-dependent branch in the loop the
+    /// compiler can unroll and autovectorize it across the `ways`
+    /// adjacent `u32` lanes; equivalence with the early-exit scalar scan
+    /// is debug-asserted on every call.
     #[inline]
     pub fn lookup(&self, addr: u32) -> Option<SetWay> {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let first = (set * self.ways) as usize;
+        let n = self.ways as usize;
+        let tags = &self.tags[first..first + n];
+        let valid = &self.valid[first..first + n];
+        let mut mask: u64 = 0;
+        for (way, (&t, &v)) in tags.iter().zip(valid).enumerate() {
+            mask |= (((t == tag) & v) as u64) << way;
+        }
+        let hit = if mask == 0 {
+            None
+        } else {
+            Some(SetWay {
+                set,
+                way: mask.trailing_zeros(),
+            })
+        };
+        debug_assert_eq!(
+            hit,
+            self.lookup_scalar(addr),
+            "masked lookup diverged from the scalar scan"
+        );
+        hit
+    }
+
+    /// The reference early-exit scan [`TagArray::lookup`] is checked
+    /// against in debug builds.
+    fn lookup_scalar(&self, addr: u32) -> Option<SetWay> {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
         let first = (set * self.ways) as usize;

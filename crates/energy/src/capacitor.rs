@@ -137,6 +137,28 @@ impl Capacitor {
     pub fn voltage_for_energy(&self, pj: Pj) -> f64 {
         (2.0 * pj / J_TO_PJ / self.capacitance_f).max(0.0).sqrt()
     }
+
+    /// Register-carried counterpart of [`Capacitor::charge_pj`]: the
+    /// voltage after adding `pj` picojoules to a capacitor currently at
+    /// `v`, computed with the identical f64 operations in the identical
+    /// order, but with the voltage passed in and returned instead of
+    /// read from and written to `self.voltage`. The batched settlement
+    /// loop keeps the carried voltage in a register across a whole run
+    /// of settlements; bit-identity with the mutating path is pinned by
+    /// a proptest below.
+    #[inline]
+    pub fn charged_voltage_at(&self, v: f64, pj: Pj) -> f64 {
+        let e = self.energy_at_pj(v) + pj;
+        self.voltage_for_energy(e).min(self.v_max)
+    }
+
+    /// Register-carried counterpart of [`Capacitor::drain_pj`]: the
+    /// voltage after draining `pj` picojoules from a capacitor at `v`.
+    #[inline]
+    pub fn drained_voltage_at(&self, v: f64, pj: Pj) -> f64 {
+        let e = (self.energy_at_pj(v) - pj).max(0.0);
+        self.voltage_for_energy(e)
+    }
 }
 
 impl Default for Capacitor {
@@ -244,6 +266,27 @@ mod tests {
             let before = c.voltage();
             c.drain_pj(pj);
             prop_assert!(c.voltage() <= before);
+        }
+
+        #[test]
+        fn charged_voltage_at_matches_charge_pj(v in 0.0f64..3.5, pj in 0.0f64..1e7) {
+            let mut c = Capacitor::paper_default();
+            c.set_voltage(v);
+            // Bit-identical, not approximately equal: the batched
+            // settlement loop substitutes the register-carried form for
+            // the mutating one mid-sequence.
+            let carried = c.charged_voltage_at(c.voltage(), pj);
+            c.charge_pj(pj);
+            prop_assert_eq!(carried.to_bits(), c.voltage().to_bits());
+        }
+
+        #[test]
+        fn drained_voltage_at_matches_drain_pj(v in 0.0f64..3.5, pj in 0.0f64..1e7) {
+            let mut c = Capacitor::paper_default();
+            c.set_voltage(v);
+            let carried = c.drained_voltage_at(c.voltage(), pj);
+            c.drain_pj(pj);
+            prop_assert_eq!(carried.to_bits(), c.voltage().to_bits());
         }
     }
 }

@@ -98,11 +98,23 @@ pub(crate) fn tally(
     }
 }
 
+/// Entries per arena chunk: at 32 bytes per `(Ps, Event)` pair a chunk
+/// is ~1 MiB — big enough that chunk turnover is off the hot path, small
+/// enough that a short run wastes little.
+const ARENA_CHUNK: usize = 32 * 1024;
+
 /// An [`Observer`] that records every event with its timestamp and
 /// maintains [`ObsCounters`] and [`ObsHistograms`] incrementally.
+///
+/// The timeline is stored in an arena of fixed-capacity chunks rather
+/// than one growable vector: a long recording run (hundreds of millions
+/// of events) never pays a realloc-and-copy of the whole history on the
+/// emission path — each chunk is allocated once at full capacity and
+/// then only ever appended to. [`Recorder::finish`] assembles the
+/// contiguous timeline exactly once, when recording is over.
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
-    events: Vec<(Ps, Event)>,
+    chunks: Vec<Vec<(Ps, Event)>>,
     counters: ObsCounters,
     histograms: ObsHistograms,
     sample_voltage: bool,
@@ -115,7 +127,12 @@ impl Observer for Recorder {
         if matches!(ev, Event::RunEnd) {
             self.ended = true;
         }
-        self.events.push((at, ev));
+        if self.chunks.last().is_none_or(|c| c.len() == ARENA_CHUNK) {
+            self.chunks.push(Vec::with_capacity(ARENA_CHUNK));
+        }
+        if let Some(chunk) = self.chunks.last_mut() {
+            chunk.push((at, ev));
+        }
     }
 
     fn wants_voltage(&self) -> bool {
@@ -135,8 +152,13 @@ impl Recorder {
     }
 
     /// Recorded events so far, in emission order.
-    pub fn events(&self) -> &[(Ps, Event)] {
-        &self.events
+    pub fn events(&self) -> impl Iterator<Item = (Ps, Event)> + '_ {
+        self.chunks.iter().flatten().copied()
+    }
+
+    /// Number of events recorded so far.
+    pub fn events_len(&self) -> usize {
+        self.chunks.iter().map(Vec::len).sum()
     }
 
     /// Counters so far.
@@ -145,13 +167,19 @@ impl Recorder {
     }
 
     /// Closes the timeline at `end` (unless the machine already
-    /// delivered [`Event::RunEnd`]) and yields the finished trace.
+    /// delivered [`Event::RunEnd`]) and yields the finished trace,
+    /// collecting the arena into one contiguous vector — the single
+    /// copy the arena deferred out of the emission path.
     pub fn finish(mut self, end: Ps) -> RunTrace {
         if !self.ended {
             self.event(end, Event::RunEnd);
         }
+        let mut events = Vec::with_capacity(self.events_len());
+        for mut chunk in self.chunks {
+            events.append(&mut chunk);
+        }
         RunTrace {
-            events: self.events,
+            events,
             counters: self.counters,
             histograms: self.histograms,
         }

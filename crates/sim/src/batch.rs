@@ -1,0 +1,70 @@
+//! Gates for the batched settlement engine.
+//!
+//! The batched engine (see `machine.rs` and DESIGN.md §2.10) is on by
+//! default and bit-identical to the per-retire reference path. Two
+//! switches exist for debugging and for the equivalence pins:
+//!
+//! * `EHSIM_NO_BATCH=1` — every machine in the process settles
+//!   per-retire, exactly as the seed did (the reference path).
+//! * [`with_settle_batching_disabled`] — the programmatic, per-thread
+//!   form, used by `EHSIM_BATCH_CHECK=1` in the sweep engine (which
+//!   runs every simulation through *both* paths and asserts the
+//!   reports field-for-field equal) and by the equivalence tests.
+//!
+//! The decision is sampled once per [`crate::Machine`] at construction,
+//! so a machine never switches engines mid-run.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+fn env_no_batch() -> bool {
+    static V: OnceLock<bool> = OnceLock::new();
+    *V.get_or_init(|| std::env::var_os("EHSIM_NO_BATCH").is_some_and(|v| v != "0"))
+}
+
+thread_local! {
+    static FORCE_OFF: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether machines constructed right now (on this thread) use the
+/// batched settlement engine.
+pub(crate) fn batching_enabled() -> bool {
+    !env_no_batch() && !FORCE_OFF.with(Cell::get)
+}
+
+/// Runs `f` with settlement batching disabled for every machine
+/// constructed inside it on this thread — the programmatic form of
+/// `EHSIM_NO_BATCH=1`. The flag is restored even if `f` panics (the
+/// dual-path check asserts inside `f`).
+pub fn with_settle_batching_disabled<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset(bool);
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            FORCE_OFF.with(|c| c.set(self.0));
+        }
+    }
+    let prev = FORCE_OFF.with(|c| c.replace(true));
+    let _reset = Reset(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_disable_restores_on_exit_and_panic() {
+        assert!(batching_enabled());
+        with_settle_batching_disabled(|| {
+            assert!(!batching_enabled());
+            with_settle_batching_disabled(|| assert!(!batching_enabled()));
+            assert!(!batching_enabled());
+        });
+        assert!(batching_enabled());
+        let r = std::panic::catch_unwind(|| {
+            with_settle_batching_disabled(|| panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert!(batching_enabled(), "flag must be restored after a panic");
+    }
+}
